@@ -1,0 +1,91 @@
+"""Shared fixtures for the per-figure/table benchmark harness.
+
+One simulation of the 27-benchmark suite drives every profiler
+configuration out-of-band (the paper runs up to 19 per simulation); the
+per-figure benchmark modules then regenerate their table/figure from the
+cached results.  Set ``REPRO_BENCH_SCALE`` to trade fidelity for wall
+time (default 0.6; the paper-shape assertions hold from ~0.3 up).
+
+Rendered tables are also written to ``benchmarks/out/`` so the results
+can be inspected after a run (they back EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import (ProfilerConfig, default_profilers, run_suite,
+                           run_workload)
+from repro.workloads import build_imagick, build_suite
+
+#: Iteration multiplier for the suite workloads.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+#: Default sampling period; stands in for the paper's 4 kHz default the
+#: same way their 4 kHz stands in for one sample per 800k cycles.
+PERIOD = 13
+#: Sampling-frequency sweep of Figure 11a: label -> period, anchored at
+#: 4 kHz = PERIOD.
+FREQUENCY_PERIODS = {
+    "100 Hz": 520, "1 kHz": 52, "4 kHz": 13, "10 kHz": 5, "20 kHz": 3,
+}
+#: Benchmarks used for the per-frequency sweep (two per class).
+SWEEP_BENCHMARKS = ["exchange2", "namd", "imagick", "gcc", "lbm", "mcf"]
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a rendered table next to the benchmarks."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text + "\n")
+
+
+#: The aliasing-prone period used for the Figure 11b comparison: loop
+#: bodies settle into power-of-two cycle counts, so a period of 16 can
+#: phase-lock onto them (Shannon-Nyquist), while the prime default
+#: cannot.
+ALIASING_PERIOD = 16
+
+
+def _suite_profilers():
+    return default_profilers(PERIOD) + [
+        ProfilerConfig("NCI+ILP", PERIOD),
+        ProfilerConfig("TIP", PERIOD, mode="random", seed=1,
+                       label="TIP-random"),
+        ProfilerConfig("TIP", ALIASING_PERIOD, label="TIP-p16"),
+        ProfilerConfig("TIP", ALIASING_PERIOD, mode="random", seed=1,
+                       label="TIP-r16"),
+    ]
+
+
+@pytest.fixture(scope="session")
+def suite_result():
+    """The full 27-benchmark suite, simulated once."""
+    return run_suite(profilers=_suite_profilers(), scale=SCALE,
+                     verbose=True)
+
+
+@pytest.fixture(scope="session")
+def imagick_pair():
+    """Original and optimized Imagick case-study runs (Section 6)."""
+    orig = run_workload(build_imagick(optimized=False),
+                        default_profilers(PERIOD))
+    opt = run_workload(build_imagick(optimized=True),
+                       default_profilers(PERIOD))
+    return orig, opt
+
+
+@pytest.fixture(scope="session")
+def frequency_sweep():
+    """Figure 11a: the same runs sampled at five frequencies at once."""
+    configs = []
+    for label, period in FREQUENCY_PERIODS.items():
+        for policy in ("NCI", "TIP-ILP", "TIP"):
+            configs.append(ProfilerConfig(policy, period,
+                                          label=f"{policy}@{label}"))
+    workloads = build_suite(SWEEP_BENCHMARKS, scale=SCALE)
+    return {workload.name: run_workload(workload, configs)
+            for workload in workloads}

@@ -1,0 +1,51 @@
+"""Figure 1: headline instruction-level profile error.
+
+Paper: average errors of 61.8% (Software), 53.1% (Dispatch), 55.4%
+(LCI), 9.3% (NCI) versus 1.6% for TIP; on the flush-intensive Imagick,
+NCI hits 21.0% while TIP stays below 5%.  We assert the *shape*: the
+ordering of the profilers, an order-of-magnitude gap between TIP and the
+skid/tag-based profilers, and NCI's Imagick pathology.
+"""
+
+from repro.analysis import Granularity, render_error_table
+from repro.analysis.error import error_reduction
+
+from conftest import write_artifact
+
+POLICIES = ["Software", "Dispatch", "LCI", "NCI", "TIP"]
+
+
+def _figure1(suite_result):
+    averages = suite_result.average_errors(Granularity.INSTRUCTION,
+                                           POLICIES)
+    imagick = suite_result["imagick"].errors(Granularity.INSTRUCTION)
+    imagick = {p: imagick[p] for p in POLICIES}
+    return averages, imagick
+
+
+def test_fig01_headline_error(benchmark, suite_result):
+    averages, imagick = benchmark.pedantic(
+        _figure1, args=(suite_result,), rounds=1, iterations=1)
+
+    table = render_error_table(
+        {"average (Fig 1a)": averages, "imagick (Fig 1b)": imagick},
+        title="Figure 1: instruction-level profile error")
+    factors = error_reduction(averages)
+    table += "\nerror vs TIP: " + ", ".join(
+        f"{p} {factors[p]:.1f}x" for p in POLICIES if p != "TIP")
+    print("\n" + table)
+    write_artifact("fig01_headline_error.txt", table)
+
+    # TIP is the most accurate and small in absolute terms.
+    assert averages["TIP"] < 0.05
+    for policy in ("Software", "Dispatch", "LCI", "NCI"):
+        assert averages[policy] > averages["TIP"]
+    # NCI is far better than the skid/tag/external profilers...
+    for policy in ("Software", "Dispatch", "LCI"):
+        assert averages[policy] > averages["NCI"]
+        assert averages[policy] > 0.25
+    # ...but TIP still beats NCI by a large factor (paper: 5.8x).
+    assert averages["NCI"] / averages["TIP"] > 3.0
+    # Imagick is an NCI pathology (paper: 21% vs 5%).
+    assert imagick["NCI"] > 0.15
+    assert imagick["TIP"] < 0.05

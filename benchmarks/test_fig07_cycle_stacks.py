@@ -1,0 +1,41 @@
+"""Figure 7: normalised commit cycle stacks and benchmark classes.
+
+Paper: every benchmark's cycles split into Execution / ALU / Load /
+Store stall / Front-end / Mispredict / Misc. flush, and the stacks
+classify the suite into 6 Compute, 8 Flush and 13 Stall benchmarks.
+"""
+
+from repro.analysis import render_stacks_table
+from repro.core.samples import Category
+from repro.workloads.suite import BENCHMARKS, PAPER_CLASSES
+
+from conftest import write_artifact
+
+
+def _stacks(suite_result):
+    return {name: suite_result[name].cycle_stack() for name in BENCHMARKS}
+
+
+def test_fig07_cycle_stacks(benchmark, suite_result):
+    stacks = benchmark.pedantic(_stacks, args=(suite_result,), rounds=1,
+                                iterations=1)
+    table = render_stacks_table(stacks,
+                                title="Figure 7: cycle stacks at commit")
+    print("\n" + table)
+    write_artifact("fig07_cycle_stacks.txt", table)
+
+    # Every benchmark lands in the paper's class.
+    for name in BENCHMARKS:
+        assert stacks[name].classify() == PAPER_CLASSES[name], name
+
+    # Spot checks on the paper's stand-out stacks.
+    # lbm: load stalls dominate (paper: 66.2% loads + 15.6% FU stalls).
+    lbm = stacks["lbm"]
+    assert lbm.fraction(Category.LOAD_STALL) > 0.25
+    # imagick: large Misc. flush component.
+    assert stacks["imagick"].fraction(Category.MISC_FLUSH) > 0.10
+    # exchange2: committing most of the time.
+    assert stacks["exchange2"].fraction(Category.EXECUTION) > 0.6
+    # Stacks are normalised: components sum to one.
+    for name in BENCHMARKS:
+        assert abs(sum(stacks[name].normalized().values()) - 1.0) < 1e-6

@@ -1,0 +1,70 @@
+"""Figure 9: basic-block-level profile error (LCI/NCI/TIP-ILP/TIP).
+
+Paper: TIP 0.7% and TIP-ILP 1.2% are accurate, NCI reasonable at 2.3%,
+LCI inaccurate at 11.9% (up to 56.1% on lbm) because it attributes
+stalls on long-latency loads to the last-committed instruction, which
+sits in the preceding basic block whenever the loop nest has internal
+control flow.  Software/Dispatch (29.9% / 22.4%) are reported in the
+text only.
+"""
+
+from repro.analysis import Granularity, render_error_table
+
+from conftest import write_artifact
+
+SHOWN = ["LCI", "NCI", "TIP-ILP", "TIP"]
+TEXT_ONLY = ["Software", "Dispatch"]
+
+
+def _errors(suite_result):
+    table = suite_result.errors(Granularity.BASIC_BLOCK,
+                                SHOWN + TEXT_ONLY)
+    averages = suite_result.average_errors(Granularity.BASIC_BLOCK,
+                                           SHOWN + TEXT_ONLY)
+    return table, averages
+
+
+def test_fig09_basic_block_error(benchmark, suite_result):
+    table, averages = benchmark.pedantic(_errors, args=(suite_result,),
+                                         rounds=1, iterations=1)
+    shown = {b: {p: row[p] for p in SHOWN} for b, row in table.items()}
+    text = render_error_table(shown,
+                              title="Figure 9: basic-block-level error")
+    text += ("\n(text-only, as in the paper: Software "
+             f"{averages['Software']:.1%}, Dispatch "
+             f"{averages['Dispatch']:.1%} average)")
+    print("\n" + text)
+    write_artifact("fig09_basic_block_error.txt", text)
+
+    # TIP and TIP-ILP stay accurate; NCI reasonable.
+    assert averages["TIP"] < 0.03
+    assert averages["TIP-ILP"] < 0.08
+    assert averages["NCI"] < 0.12
+    # LCI falls off a cliff at this granularity.
+    assert averages["LCI"] > 2 * averages["NCI"]
+    # The lbm pathology: stalls land in the preceding block.
+    assert table["lbm"]["LCI"] > 0.15
+    assert table["lbm"]["LCI"] > 5 * table["lbm"]["TIP"]
+    # Software/Dispatch are far off the accurate profilers, hence
+    # text-only.  (In our runs LCI's pointer-chase pathologies make it
+    # even worse than Software at this level; the paper has Software
+    # worst -- either way all three dwarf NCI/TIP.)
+    assert averages["Software"] > 2 * averages["NCI"]
+    assert averages["Dispatch"] > 2 * averages["NCI"]
+
+
+def test_fig09_block_vs_function_error_grows(benchmark, suite_result):
+    """Section 5.1: error increases from function to basic-block level
+    for every profiler (lbm's LCI being the striking example)."""
+    def _compare():
+        func = suite_result.average_errors(Granularity.FUNCTION, SHOWN)
+        block = suite_result.average_errors(Granularity.BASIC_BLOCK,
+                                            SHOWN)
+        return func, block
+
+    func, block = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    for policy in SHOWN:
+        assert block[policy] >= func[policy] - 1e-9, policy
+    lbm_func = suite_result["lbm"].error("LCI", Granularity.FUNCTION)
+    lbm_block = suite_result["lbm"].error("LCI", Granularity.BASIC_BLOCK)
+    assert lbm_block > lbm_func + 0.1

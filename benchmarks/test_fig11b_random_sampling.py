@@ -1,0 +1,74 @@
+"""Figure 11b: periodic versus random sampling.
+
+Paper: random sampling lowers TIP's average instruction-level error
+(1.6% -> 1.1%); the effect concentrates on a handful of stall-intensive
+benchmarks with repetitive time-varying behaviour (streamcluster, lbm,
+fotonik -- "cf. Shannon-Nyquist"), while most benchmarks barely move.
+Periodic sampling is kept as the default because it is simpler in
+hardware.
+
+We reproduce the mechanism at two periods: an aliasing-prone period
+(16 cycles -- loop bodies settle into power-of-two cycle counts and
+periodic sampling phase-locks onto them) where random sampling wins
+clearly and the repetitive streaming benchmarks improve most, and the
+prime default period where periodic sampling is already effectively
+anti-aliased and the two modes coincide.
+"""
+
+from repro.analysis import Granularity, render_error_table
+from repro.workloads.suite import BENCHMARKS
+
+from conftest import write_artifact
+
+#: The repetitive stall-intensive benchmarks the paper calls out.
+REPETITIVE = ["lbm", "fotonik3d", "streamcluster", "namd", "roms",
+              "bwaves"]
+
+
+def _errors(suite_result):
+    table = {}
+    for name in BENCHMARKS:
+        result = suite_result[name]
+        table[name] = {
+            "periodic@16": result.error("TIP-p16",
+                                        Granularity.INSTRUCTION),
+            "random@16": result.error("TIP-r16",
+                                      Granularity.INSTRUCTION),
+            "periodic@13": result.error("TIP", Granularity.INSTRUCTION),
+            "random@13": result.error("TIP-random",
+                                      Granularity.INSTRUCTION),
+        }
+    count = len(table)
+    averages = {mode: sum(row[mode] for row in table.values()) / count
+                for mode in next(iter(table.values()))}
+    return table, averages
+
+
+def test_fig11b_random_sampling(benchmark, suite_result):
+    table, averages = benchmark.pedantic(_errors, args=(suite_result,),
+                                         rounds=1, iterations=1)
+    text = render_error_table(
+        table, title="Figure 11b: periodic vs random sampling (TIP)")
+    text += ("\nAt the aliasing-prone period, random sampling wins on "
+             "average, driven by the\nrepetitive stall-intensive "
+             "benchmarks; at the prime default period periodic\n"
+             "sampling is already effectively anti-aliased.")
+    print("\n" + text)
+    write_artifact("fig11b_random_sampling.txt", text)
+
+    # The paper's direction: random sampling beats periodic on average
+    # when periodic sampling can alias.
+    assert averages["random@16"] < averages["periodic@16"]
+    # The win concentrates on repetitive benchmarks (paper names
+    # streamcluster, lbm, fotonik).
+    big_wins = [name for name in REPETITIVE
+                if table[name]["periodic@16"]
+                - table[name]["random@16"] > 0.05]
+    assert len(big_wins) >= 2, table
+    # Most benchmarks barely move at the default period.
+    close = sum(1 for row in table.values()
+                if abs(row["periodic@13"] - row["random@13"]) < 0.03)
+    assert close >= len(table) * 2 // 3
+    # Both modes keep TIP accurate at the default period.
+    assert averages["periodic@13"] < 0.05
+    assert averages["random@13"] < 0.05

@@ -1,0 +1,77 @@
+"""Figure 12: Imagick function- and instruction-level profiles.
+
+Paper: the function-level profile (TIP, NCI and Oracle all agree) shows
+ceil is hot but not why; at the instruction level TIP attributes most of
+ceil's time to the frflags/fsflags CSR pair (which flush the BOOM
+pipeline) while NCI blames downstream instructions -- so only TIP's
+profile points at the fix.
+"""
+
+from repro.analysis import Granularity, render_profile_table
+
+from conftest import write_artifact
+
+
+def _profiles(orig):
+    function = {
+        "Oracle": orig.oracle_profile(Granularity.FUNCTION),
+        "TIP": orig.profile("TIP", Granularity.FUNCTION),
+        "NCI": orig.profile("NCI", Granularity.FUNCTION),
+    }
+    program = orig.program
+    ceil = next(f for f in program.functions if f.name == "ceil")
+
+    def within_ceil(profile):
+        inside = {addr: t for addr, t in profile.items()
+                  if isinstance(addr, int) and ceil.contains(addr)}
+        total = sum(inside.values()) or 1.0
+        return {addr: t / total for addr, t in inside.items()}
+
+    instruction = {
+        "Oracle": within_ceil(
+            orig.oracle_profile(Granularity.INSTRUCTION)),
+        "TIP": within_ceil(orig.profile("TIP", Granularity.INSTRUCTION)),
+        "NCI": within_ceil(orig.profile("NCI", Granularity.INSTRUCTION)),
+    }
+    return function, instruction
+
+
+def test_fig12_imagick_profiles(benchmark, imagick_pair):
+    orig, _ = imagick_pair
+    function, instruction = benchmark.pedantic(
+        _profiles, args=(orig,), rounds=1, iterations=1)
+
+    text = render_profile_table(
+        function, title="Figure 12 (top): Imagick function profile")
+    text += "\n\n" + render_profile_table(
+        instruction, program=orig.program, top=14,
+        title="Figure 12 (bottom): instruction profile within ceil")
+    print("\n" + text)
+    write_artifact("fig12_imagick_profiles.txt", text)
+
+    # ceil and floor are hot (paper: each ~22% of runtime).
+    for func in ("ceil", "floor"):
+        assert function["Oracle"][func] > 0.10, func
+    # Function-level: TIP and NCI both match Oracle (the profile is
+    # accurate yet inconclusive).
+    for name in ("TIP", "NCI"):
+        for func in ("MeanShiftImage", "ceil", "floor",
+                     "MorphologyApply"):
+            assert abs(function[name][func]
+                       - function["Oracle"][func]) < 0.05
+
+    program = orig.program
+    csr_addrs = {i.addr for i in program.instructions
+                 if i.op.value in ("frflags", "fsflags")}
+
+    def csr_share(profile):
+        return sum(t for addr, t in profile.items() if addr in csr_addrs)
+
+    # Instruction-level: TIP (like Oracle) puts most of ceil on the CSR
+    # pair; NCI puts it elsewhere.
+    assert csr_share(instruction["Oracle"]) > 0.4
+    assert csr_share(instruction["TIP"]) > 0.4
+    assert csr_share(instruction["NCI"]) < 0.2
+    # NCI's hottest ceil instruction is NOT a CSR instruction.
+    nci_hottest = max(instruction["NCI"], key=instruction["NCI"].get)
+    assert nci_hottest not in csr_addrs

@@ -1,0 +1,74 @@
+"""Throughput benchmarks of the substrate itself.
+
+Not paper figures -- these measure the simulator's own performance
+(cycles/second with and without attached profilers), which bounds how
+large the reproduced experiments can be and quantifies the cost of
+out-of-band trace processing (the paper's CPU-side framework had the
+same concern: "on-the-fly processing with only minimal simulation
+slowdown").
+"""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.harness import default_profilers, run_experiment
+from repro.workloads import build_workload, k_int_ilp, k_stream_load
+
+
+def _workload():
+    return build_workload("perf", [
+        k_int_ilp("compute", 800, width=6),
+        k_stream_load("stream", 250, 0x20_0000, 256 * 1024),
+    ])
+
+
+def test_simulator_throughput_bare(benchmark):
+    """Core simulation speed with no observers attached."""
+    workload = _workload()
+
+    def run():
+        machine = Machine(workload.program,
+                          premapped_data=workload.premapped)
+        return machine.run().cycles
+
+    cycles = benchmark(run)
+    assert cycles > 1000
+
+
+def test_simulator_throughput_with_profilers(benchmark):
+    """Simulation speed with Oracle + six profilers out-of-band."""
+    workload = _workload()
+
+    def run():
+        result = run_experiment(workload.program, default_profilers(31),
+                                premapped_data=workload.premapped)
+        return result.stats.cycles
+
+    cycles = benchmark(run)
+    assert cycles > 1000
+
+
+def test_profiler_overhead_is_bounded(benchmark):
+    """Attaching the full profiler line-up costs less than ~6x bare
+    simulation (the paper's out-of-band processing keeps up with the
+    FPGA similarly)."""
+    import time
+    workload = _workload()
+
+    def timed(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    def bare():
+        Machine(workload.program,
+                premapped_data=workload.premapped).run()
+
+    def full():
+        run_experiment(workload.program, default_profilers(31),
+                       premapped_data=workload.premapped)
+
+    bare_time = min(timed(bare) for _ in range(2))
+    full_time = benchmark.pedantic(lambda: timed(full), rounds=1,
+                                   iterations=1)
+    assert full_time < 8 * bare_time

@@ -1,0 +1,77 @@
+"""Table 1: the simulated BOOM configuration.
+
+Regenerates the configuration table from :class:`CoreConfig` and checks
+it against the paper's numbers.
+"""
+
+from repro.cpu.config import CoreConfig
+
+from conftest import write_artifact
+
+
+def _render(config: CoreConfig) -> str:
+    memory = config.memory
+    rows = [
+        ("Core", "OoO BOOM-style, 4-wide commit"),
+        ("Front-end", f"{config.fetch_width}-wide fetch, "
+                      f"{config.fetch_buffer_entries}-entry fetch buffer, "
+                      f"{config.decode_width}-wide decode, TAGE predictor, "
+                      f"max {config.max_outstanding_branches} outstanding "
+                      "branches"),
+        ("Execute", f"{config.rob_entries}-entry ROB, "
+                    f"{config.mem_iq_entries}-entry "
+                    f"{config.mem_issue_width}-issue MEM queue, "
+                    f"{config.int_iq_entries}-entry "
+                    f"{config.int_issue_width}-issue INT queue, "
+                    f"{config.fp_iq_entries}-entry "
+                    f"{config.fp_issue_width}-issue FP queue"),
+        ("LSU", f"{config.load_queue_entries}+"
+                f"{config.store_queue_entries}-entry load/store queues"),
+        ("L1", f"{memory.l1i_size // 1024} KB {memory.l1i_assoc}-way "
+               f"I-cache, {memory.l1d_size // 1024} KB "
+               f"{memory.l1d_assoc}-way D-cache w/ {memory.l1d_mshrs} "
+               "MSHRs, next-line prefetcher"),
+        ("L2/LLC", f"{memory.l2_size // 1024} KB {memory.l2_assoc}-way L2 "
+                   f"w/ {memory.l2_mshrs} MSHRs, "
+                   f"{memory.llc_size // (1024 * 1024)} MB "
+                   f"{memory.llc_assoc}-way LLC w/ {memory.llc_mshrs} "
+                   "MSHRs"),
+        ("TLB", f"{memory.dtlb_entries}-entry fully-assoc L1 D-TLB, "
+                f"{memory.itlb_entries}-entry fully-assoc L1 I-TLB, "
+                f"{memory.l2tlb_entries}-entry direct-mapped L2 TLB, "
+                "HW page-table walker"),
+        ("Memory", f"{memory.dram_latency}-cycle DRAM w/ bandwidth "
+                   "queueing"),
+        ("OS", "miniature kernel: demand paging via page-fault handler"),
+    ]
+    width = max(len(part) for part, _ in rows)
+    lines = ["== Table 1: simulated configuration =="]
+    lines += [f"{part:<{width}}  {desc}" for part, desc in rows]
+    return "\n".join(lines)
+
+
+def test_tab01_configuration(benchmark):
+    config = benchmark.pedantic(CoreConfig.boom_4wide, rounds=1,
+                                iterations=1)
+    table = _render(config)
+    print("\n" + table)
+    write_artifact("tab01_configuration.txt", table)
+
+    # The Table 1 numbers.
+    assert config.fetch_width == 8
+    assert config.fetch_buffer_entries == 32
+    assert config.decode_width == 4
+    assert config.commit_width == 4
+    assert config.rob_entries == 128
+    assert config.mem_iq_entries == 24 and config.mem_issue_width == 2
+    assert config.int_iq_entries == 40 and config.int_issue_width == 4
+    assert config.fp_iq_entries == 32 and config.fp_issue_width == 2
+    assert config.max_outstanding_branches == 20
+    memory = config.memory
+    assert memory.l1i_size == 32 * 1024 and memory.l1i_assoc == 8
+    assert memory.l1d_size == 32 * 1024 and memory.l1d_mshrs == 8
+    assert memory.l2_size == 512 * 1024 and memory.l2_mshrs == 12
+    assert memory.llc_size == 4 * 1024 * 1024 and memory.llc_mshrs == 8
+    assert memory.itlb_entries == 32 and memory.dtlb_entries == 32
+    assert memory.l2tlb_entries == 512
+    assert memory.next_line_prefetcher

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Extending the framework: write and evaluate your own profiler policy.
+
+Implements two custom policies on the commit-stage trace API:
+
+* ``OldestCommitted`` -- like LCI but reports the *oldest* instruction of
+  the most recent commit group;
+* ``HeadAlways`` -- always reports the head of the ROB, ignoring commit
+  groups and flushes entirely.
+
+Both plug into the same harness as TIP and get judged by the same
+Oracle-based error metric, demonstrating how to prototype a new hardware
+sampling policy in a few lines.
+
+Run:  python examples/custom_profiler.py
+"""
+
+from typing import Optional
+
+from repro import Granularity
+from repro.analysis import profile_error, render_error_table
+from repro.core import OracleProfiler, SampleSchedule, TipProfiler
+from repro.core.profiler import Outcome, SamplingProfiler
+from repro.cpu import Machine
+from repro.cpu.trace import CycleRecord
+from repro.workloads import build_workload, k_csr_flush, k_int_ilp, \
+    k_stream_load
+
+PERIOD = 13
+
+
+class OldestCommittedProfiler(SamplingProfiler):
+    """Report the oldest instruction of the latest commit group."""
+
+    name = "OldestCommit"
+
+    def __init__(self, schedule):
+        super().__init__(schedule)
+        self._last: Optional[int] = None
+
+    def _update_state(self, record: CycleRecord) -> None:
+        if record.committed:
+            self._last = record.committed[0].addr
+
+    def _attribute(self, record: CycleRecord) -> Optional[Outcome]:
+        if self._last is None:
+            return None
+        return [(self._last, 1.0)], None
+
+    def _resolve(self, record: CycleRecord) -> Optional[Outcome]:
+        if record.committed:
+            return [(record.committed[0].addr, 1.0)], None
+        return None
+
+
+class HeadAlwaysProfiler(SamplingProfiler):
+    """Report the ROB head; fall back to the last head when empty."""
+
+    name = "HeadAlways"
+
+    def __init__(self, schedule):
+        super().__init__(schedule)
+        self._last_head: Optional[int] = None
+
+    def _update_state(self, record: CycleRecord) -> None:
+        if record.rob_head is not None:
+            self._last_head = record.rob_head
+
+    def _attribute(self, record: CycleRecord) -> Optional[Outcome]:
+        if self._last_head is None:
+            return None
+        return [(self._last_head, 1.0)], None
+
+    def _resolve(self, record: CycleRecord) -> Optional[Outcome]:
+        if record.rob_head is not None:
+            return [(record.rob_head, 1.0)], None
+        return None
+
+
+def main() -> None:
+    workload = build_workload("demo", [
+        k_int_ilp("compute", 1500, width=6),
+        k_stream_load("stream", 500, 0x20_0000, 1024 * 1024),
+        k_csr_flush("round", 300),
+    ], rounds=2)
+
+    machine = Machine(workload.program,
+                      premapped_data=workload.premapped)
+    oracle = OracleProfiler(machine.image,
+                            watch_schedules=[SampleSchedule(PERIOD)])
+    profilers = {
+        "TIP": TipProfiler(SampleSchedule(PERIOD), machine.image),
+        "OldestCommit": OldestCommittedProfiler(SampleSchedule(PERIOD)),
+        "HeadAlways": HeadAlwaysProfiler(SampleSchedule(PERIOD)),
+    }
+    machine.attach(oracle)
+    for profiler in profilers.values():
+        machine.attach(profiler)
+    machine.run()
+
+    from repro.analysis import Symbolizer
+    symbolizer = Symbolizer(machine.image)
+    errors = {"demo": {
+        name: profile_error(profiler, oracle.report, symbolizer,
+                            Granularity.INSTRUCTION)
+        for name, profiler in profilers.items()
+    }}
+    print(render_error_table(errors, title="instruction-level error"))
+    print("\nHeadAlways gets stalls right but misattributes flushes and")
+    print("commit ILP; OldestCommit behaves like a biased LCI.  Neither")
+    print("matches TIP -- but both took ~30 lines to evaluate.")
+
+
+if __name__ == "__main__":
+    main()

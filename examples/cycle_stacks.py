@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Figure 7 in miniature: commit cycle stacks for a slice of the suite.
+
+Simulates a few representative benchmarks from each class and prints
+their normalised cycle stacks plus the Compute/Flush/Stall classification
+the paper derives from them.
+
+Run:  python examples/cycle_stacks.py [benchmark ...]
+"""
+
+import sys
+
+from repro.analysis import render_stacks_table
+from repro.harness import default_profilers, run_workload
+from repro.workloads import build
+from repro.workloads.suite import PAPER_CLASSES
+
+DEFAULT_PICKS = ["exchange2", "namd", "imagick", "blackscholes",
+                 "lbm", "mcf"]
+
+
+def main() -> None:
+    names = sys.argv[1:] or DEFAULT_PICKS
+    stacks = {}
+    for name in names:
+        workload = build(name, scale=0.4)
+        print(f"simulating {name} ...", flush=True)
+        result = run_workload(workload, default_profilers(period=31))
+        stacks[name] = result.cycle_stack()
+    print()
+    print(render_stacks_table(stacks, title="cycle stacks (Figure 7)"))
+    print()
+    for name in names:
+        got = stacks[name].classify()
+        want = PAPER_CLASSES.get(name, "?")
+        marker = "matches" if got == want else "DIFFERS from"
+        print(f"  {name}: classified {got}, {marker} the paper ({want})")
+
+
+if __name__ == "__main__":
+    main()

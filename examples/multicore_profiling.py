@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Multi-core profiling and perf-style sample buffers (Section 3.2).
+
+Runs two cores -- one compute-bound, one memory-bound -- each with its
+own TIP unit, merges their sample streams into a system-wide profile
+(like merging per-CPU perf buffers), and shows the raw binary sample
+records TIP would hand to perf (88 B each: 40 B metadata + 4 addresses
++ cycle counter + flags CSR).
+
+Run:  python examples/multicore_profiling.py
+"""
+
+from repro.analysis import Granularity, render_profile_table
+from repro.core import PerfSession
+from repro.harness import MulticoreSession
+from repro.workloads import build_workload, k_fp_ilp, k_stream_load
+
+
+def main() -> None:
+    core0 = build_workload("encoder", [
+        k_fp_ilp("transform", 2000, width=4),
+    ])
+    core1 = build_workload("database", [
+        k_stream_load("scan", 900, 0x20_0000, 2 * 1024 * 1024,
+                      stride=16),
+    ])
+
+    print("simulating two cores ...")
+    session = MulticoreSession([core0, core1], period=31).run()
+
+    for core in session.sessions:
+        print(f"  core {core.core_id} ({core.workload.name}): "
+              f"{core.cycles} cycles, "
+              f"IPC {core.machine.stats.ipc:.2f}, "
+              f"{len(core.tip.samples)} TIP samples")
+
+    per_core = session.per_core_profiles(Granularity.FUNCTION)
+    print()
+    print(render_profile_table(
+        {f"core {cid}": profile for cid, profile in per_core.items()},
+        title="per-core function profiles"))
+
+    system = session.system_profile(Granularity.FUNCTION, tag_core=True)
+    labelled = {f"cpu{core}/{sym}": value
+                for (core, sym), value in system.items()}
+    print()
+    print(render_profile_table({"system": labelled},
+                               title="merged system profile"))
+
+    print()
+    print("=== raw perf buffers ===")
+    for core in session.sessions:
+        perf = PerfSession(core.tip, banks=4)
+        buffer = perf.drain()
+        print(f"core {core.core_id}: {len(core.tip.samples)} samples x "
+              f"{perf.bytes_per_sample} B = {len(buffer)} B")
+        reconstructed = perf.profile()
+        direct = core.tip.profile()
+        matches = all(abs(reconstructed[a] - t) < 1e-9
+                      for a, t in direct.items())
+        print(f"  post-processing the raw buffer reproduces the profile: "
+              f"{matches}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: profile a small program with TIP and the baselines.
+
+Assembles a toy program with a hot (cache-missing) loop and a compute
+loop, runs it once on the simulated 4-wide BOOM core with all profilers
+attached out-of-band, and prints each profiler's view of where the time
+went next to the Oracle's ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Granularity, default_profilers, run_experiment
+from repro.analysis import render_error_table, render_profile_table
+from repro.isa import assemble
+
+SOURCE = """
+.entry main
+.func main
+main:
+    jal  x1, hot_loop
+    jal  x1, compute
+    halt
+
+# Streams through a 1 MB buffer: most time is load stalls.
+.func hot_loop
+hot_loop:
+    addi x5, x0, 0
+    addi x6, x0, 3000
+hot_L:
+    ld   x7, 0x200000(x5)
+    add  x9, x9, x7
+    addi x5, x5, 16
+    andi x5, x5, 1048575
+    addi x6, x6, -1
+    bne  x6, x0, hot_L
+    jalr x0, x1, 0
+
+# Independent integer work: commits at full width.
+.func compute
+compute:
+    addi x6, x0, 3000
+comp_L:
+    add  x10, x10, x6
+    add  x11, x11, x6
+    add  x12, x12, x6
+    xor  x13, x13, x10
+    addi x6, x6, -1
+    bne  x6, x0, comp_L
+    jalr x0, x1, 0
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="quickstart")
+    result = run_experiment(
+        program,
+        default_profilers(period=13),
+        premapped_data=[(0x200000, 0x200000 + 1048576)],
+    )
+
+    print(f"ran {result.stats.committed} instructions in "
+          f"{result.stats.cycles} cycles (IPC {result.stats.ipc:.2f})\n")
+
+    profiles = {"Oracle": result.oracle_profile(Granularity.FUNCTION)}
+    for name in result.profilers:
+        profiles[name] = result.profile(name, Granularity.FUNCTION)
+    print(render_profile_table(profiles, title="function-level profile"))
+    print()
+
+    for granularity in Granularity:
+        errors = {"quickstart": {name: result.error(name, granularity)
+                                 for name in result.profilers}}
+        print(render_error_table(errors,
+                                 title=f"{granularity.value}-level error"))
+        print()
+
+    print("Note how every profiler is fine at the function level, but only")
+    print("TIP stays accurate at the instruction level -- the paper's")
+    print("central result.")
+
+
+if __name__ == "__main__":
+    main()

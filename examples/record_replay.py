@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Record once, analyze forever (the FireSim methodology).
+
+Simulates a workload a single time while serializing its commit-stage
+trace to a compact binary file, then replays that file through fresh
+profiler configurations -- different policies, sampling periods, and
+modes -- without ever re-simulating.  This is exactly how the paper
+evaluates 19 profiler configurations per FPGA run.
+
+Run:  python examples/record_replay.py
+"""
+
+import io
+import time
+
+from repro.analysis import Granularity, Symbolizer, profile_error, \
+    render_error_table
+from repro.core import (NciProfiler, OracleProfiler, SampleSchedule,
+                        TipProfiler)
+from repro.cpu import Machine, TraceWriter, replay_trace
+from repro.workloads import build_workload, k_branchy, k_csr_flush, \
+    k_int_ilp, k_stream_load
+
+
+def main() -> None:
+    workload = build_workload("record-me", [
+        k_int_ilp("compute", 1500, width=6),
+        k_stream_load("stream", 500, 0x20_0000, 1024 * 1024),
+        k_csr_flush("round", 300),
+        k_branchy("branchy", 400, 0x40_0000),
+    ])
+
+    print("=== record: one simulation, trace to bytes ===")
+    machine = Machine(workload.program,
+                      premapped_data=workload.premapped)
+    buffer = io.BytesIO()
+    machine.attach(TraceWriter(buffer, banks=4))
+    start = time.perf_counter()
+    stats = machine.run()
+    sim_time = time.perf_counter() - start
+    trace = buffer.getvalue()
+    print(f"simulated {stats.cycles} cycles in {sim_time:.2f}s; "
+          f"trace is {len(trace)} bytes "
+          f"({len(trace) / stats.cycles:.1f} B/cycle)\n")
+
+    print("=== replay: many profiler configurations, no re-simulation ===")
+    symbolizer = Symbolizer(machine.image)
+    errors = {}
+    for period in (7, 13, 53, 211):
+        oracle = OracleProfiler(machine.image,
+                                watch_schedules=[SampleSchedule(period)])
+        tip = TipProfiler(SampleSchedule(period), machine.image)
+        nci = NciProfiler(SampleSchedule(period))
+        start = time.perf_counter()
+        replay_trace(trace, oracle, tip, nci)
+        replay_time = time.perf_counter() - start
+        oracle.report.total_cycles = stats.cycles
+        errors[f"period {period}"] = {
+            "TIP": profile_error(tip, oracle.report, symbolizer,
+                                 Granularity.INSTRUCTION),
+            "NCI": profile_error(nci, oracle.report, symbolizer,
+                                 Granularity.INSTRUCTION),
+        }
+        print(f"  period {period:>3}: replay took {replay_time:.2f}s")
+
+    print()
+    print(render_error_table(errors,
+                             title="instruction error vs period (replayed)"))
+    print("\nNCI saturates at its systematic floor; TIP keeps improving —")
+    print("Figure 11a, regenerated from one recorded trace.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Profile analysis: symbolization, error metric, cycle stacks, reports."""
+
+from .cyclestacks import (CLASS_COMPUTE, CLASS_FLUSH, CLASS_STALL,
+                          STACK_ORDER, CycleStack, cycle_stack,
+                          per_symbol_stacks)
+from .diff import ProfileDiff, SymbolDelta, diff_profiles, render_diff
+from .error import (all_granularity_errors, error_reduction, overlap,
+                    per_sample_error, profile_error)
+from .profiles import build_profile, normalize, oracle_profile, top_symbols
+from .report import (render_cycle_stack, render_error_table,
+                     render_profile_table, render_stacks_table)
+from .symbols import (Granularity, OFF_TEXT, Symbolizer, UNKNOWN_FUNCTION)
+
+__all__ = [
+    "CLASS_COMPUTE", "CLASS_FLUSH", "CLASS_STALL", "STACK_ORDER",
+    "CycleStack", "cycle_stack", "per_symbol_stacks",
+    "ProfileDiff", "SymbolDelta", "diff_profiles", "render_diff",
+    "all_granularity_errors", "error_reduction", "overlap",
+    "per_sample_error", "profile_error",
+    "build_profile", "normalize", "oracle_profile", "top_symbols",
+    "render_cycle_stack", "render_error_table", "render_profile_table",
+    "render_stacks_table",
+    "Granularity", "OFF_TEXT", "Symbolizer", "UNKNOWN_FUNCTION",
+]

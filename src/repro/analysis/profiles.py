@@ -1,0 +1,50 @@
+"""Building symbol-level profiles from samples and Oracle attributions.
+
+This is the perf-style post-processing step of Section 3.1: every sample
+contributes ``interval * fraction`` to each symbol it names, and profiles
+are normalised by total time so they can be compared across profilers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from ..core.oracle import OracleReport
+from ..core.samples import Sample
+from .symbols import Granularity, Symbolizer
+
+
+def build_profile(samples: Iterable[Sample], symbolizer: Symbolizer,
+                  granularity: Granularity) -> Dict[Hashable, float]:
+    """Aggregate samples into a symbol -> time profile."""
+    profile: Dict[Hashable, float] = {}
+    for sample in samples:
+        for addr, fraction in sample.weights:
+            sym = symbolizer.symbol(addr, granularity)
+            profile[sym] = profile.get(sym, 0.0) + sample.interval * fraction
+    return profile
+
+
+def oracle_profile(oracle: OracleReport, symbolizer: Symbolizer,
+                   granularity: Granularity) -> Dict[Hashable, float]:
+    """The Oracle's exact symbol -> time profile."""
+    profile: Dict[Hashable, float] = {}
+    for addr, cycles in oracle.profile.items():
+        sym = symbolizer.symbol(addr, granularity)
+        profile[sym] = profile.get(sym, 0.0) + cycles
+    return profile
+
+
+def normalize(profile: Dict[Hashable, float]) -> Dict[Hashable, float]:
+    """Scale a profile so its values sum to 1."""
+    total = sum(profile.values())
+    if not total:
+        return {}
+    return {sym: value / total for sym, value in profile.items()}
+
+
+def top_symbols(profile: Dict[Hashable, float],
+                count: int = 10) -> List[Tuple[Hashable, float]]:
+    """The *count* hottest symbols, hottest first."""
+    ranked = sorted(profile.items(), key=lambda item: item[1], reverse=True)
+    return ranked[:count]

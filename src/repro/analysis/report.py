@@ -1,0 +1,91 @@
+"""Text rendering of profiles, error tables and cycle stacks.
+
+These produce the human-readable artefacts of the paper: the Figure 12
+style side-by-side function/instruction profiles, Figure 7/13 style cycle
+stacks, and the per-benchmark error tables behind Figures 8-10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+from ..isa.program import Program
+from .cyclestacks import STACK_ORDER, CycleStack
+
+
+def _fmt_symbol(program: Optional[Program], sym: Hashable) -> str:
+    if isinstance(sym, int):
+        label = f"{sym:#x}"
+        if program is not None:
+            inst = program.fetch(sym)
+            if inst is not None:
+                return f"{label} {inst.op.value}"
+        return label
+    return str(sym)
+
+
+def render_profile_table(profiles: Mapping[str, Dict[Hashable, float]],
+                         program: Optional[Program] = None,
+                         top: int = 15, title: str = "profile") -> str:
+    """Side-by-side normalised profiles, ranked by the first column."""
+    names = list(profiles)
+    if not names:
+        return f"== {title} ==\n(empty)"
+    reference = profiles[names[0]]
+    symbols = sorted(set().union(*[p.keys() for p in profiles.values()]),
+                     key=lambda s: reference.get(s, 0.0), reverse=True)[:top]
+    width = max([len(_fmt_symbol(program, s)) for s in symbols] + [8])
+    lines = [f"== {title} ==",
+             f"{'symbol':<{width}} " + " ".join(f"{n:>9}" for n in names)]
+    for sym in symbols:
+        row = " ".join(f"{profiles[n].get(sym, 0.0):>8.2%}" for n in names)
+        lines.append(f"{_fmt_symbol(program, sym):<{width}} {row}")
+    return "\n".join(lines)
+
+
+def render_error_table(errors: Mapping[str, Mapping[str, float]],
+                       title: str = "profile error") -> str:
+    """Benchmarks x profilers error matrix, plus the arithmetic mean."""
+    benchmarks = list(errors)
+    if not benchmarks:
+        return f"== {title} ==\n(empty)"
+    profilers = list(next(iter(errors.values())))
+    width = max([len(b) for b in benchmarks] + [len("average"), 10])
+    lines = [f"== {title} ==",
+             f"{'benchmark':<{width}} "
+             + " ".join(f"{p:>9}" for p in profilers)]
+    for bench in benchmarks:
+        row = " ".join(f"{errors[bench].get(p, 0.0):>8.2%}"
+                       for p in profilers)
+        lines.append(f"{bench:<{width}} {row}")
+    averages = {p: sum(errors[b].get(p, 0.0) for b in benchmarks)
+                / len(benchmarks) for p in profilers}
+    lines.append(f"{'average':<{width}} "
+                 + " ".join(f"{averages[p]:>8.2%}" for p in profilers))
+    return "\n".join(lines)
+
+
+def render_cycle_stack(stack: CycleStack, label: str = "run") -> str:
+    """One normalised cycle stack as text."""
+    lines = [f"== cycle stack: {label} (total {stack.total:.0f} cycles) =="]
+    for category in STACK_ORDER:
+        lines.append(f"  {category.value:<12} {stack.fraction(category):>7.2%}")
+    lines.append(f"  class: {stack.classify()}")
+    return "\n".join(lines)
+
+
+def render_stacks_table(stacks: Mapping[str, CycleStack],
+                        title: str = "cycle stacks") -> str:
+    """Many normalised cycle stacks side by side (Figure 7 layout)."""
+    names = list(stacks)
+    if not names:
+        return f"== {title} ==\n(empty)"
+    width = max([len(n) for n in names] + [10])
+    header = " ".join(f"{c.value[:9]:>9}" for c in STACK_ORDER)
+    lines = [f"== {title} ==",
+             f"{'benchmark':<{width}} {header} {'class':>8}"]
+    for name in names:
+        stack = stacks[name]
+        row = " ".join(f"{stack.fraction(c):>8.2%}" for c in STACK_ORDER)
+        lines.append(f"{name:<{width}} {row} {stack.classify():>8}")
+    return "\n".join(lines)

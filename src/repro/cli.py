@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``profile FILE.s``
+    Assemble and profile an assembly program with all profilers.
+``suite [NAMES...]``
+    Run (a subset of) the 27-benchmark suite and print error tables.
+``stacks [NAMES...]``
+    Print Figure 7-style cycle stacks for benchmarks.
+``imagick``
+    Run the Section 6 case study (original vs optimized).
+``overhead``
+    Print the Section 3.2 overhead summary.
+``record FILE.s -o trace.bin``
+    Simulate once and serialize the commit-stage trace.
+``replay trace.bin FILE.s``
+    Re-profile a recorded trace without re-simulating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (Granularity, render_error_table,
+                       render_profile_table, render_stacks_table)
+from .core.overhead import summarize
+from .cpu.config import CoreConfig
+from .harness import default_profilers, run_experiment, run_suite, \
+    run_workload
+from .isa import assemble
+from .workloads import build_imagick, build_suite
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--period", type=int, default=13,
+                        help="sampling period in cycles (default 13)")
+    parser.add_argument("--random", action="store_true",
+                        help="random instead of periodic sampling")
+
+
+def _profilers(args):
+    mode = "random" if args.random else "periodic"
+    return default_profilers(args.period, mode=mode)
+
+
+def cmd_profile(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    program = assemble(source, name=args.file)
+    premapped = [(0, 1 << 28)] if args.map_all else None
+    result = run_experiment(program, _profilers(args),
+                            premapped_data=premapped)
+    print(f"{result.stats.committed} instructions, "
+          f"{result.stats.cycles} cycles, IPC {result.stats.ipc:.2f}\n")
+    granularity = Granularity(args.granularity)
+    profiles = {"Oracle": result.oracle_profile(granularity)}
+    for name in result.profilers:
+        profiles[name] = result.profile(name, granularity)
+    print(render_profile_table(profiles, program=program, top=args.top,
+                               title=f"{granularity.value} profile"))
+    print()
+    errors = {"program": result.errors(granularity)}
+    print(render_error_table(errors, title=f"{granularity.value} error"))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    names = args.benchmarks or None
+    workloads = build_suite(names, scale=args.scale)
+    suite = run_suite(workloads, profilers=_profilers(args),
+                      verbose=True)
+    for granularity in Granularity:
+        table = suite.errors(granularity)
+        print()
+        print(render_error_table(
+            table, title=f"{granularity.value}-level error"))
+    return 0
+
+
+def cmd_stacks(args) -> int:
+    names = args.benchmarks or None
+    workloads = build_suite(names, scale=args.scale)
+    suite = run_suite(workloads, profilers=_profilers(args),
+                      verbose=True)
+    print()
+    print(render_stacks_table(suite.cycle_stacks(),
+                              title="cycle stacks (Figure 7)"))
+    return 0
+
+
+def cmd_imagick(args) -> int:
+    orig = run_workload(build_imagick(optimized=False), _profilers(args))
+    opt = run_workload(build_imagick(optimized=True), _profilers(args))
+    print(render_stacks_table({"original": orig.cycle_stack(),
+                               "optimized": opt.cycle_stack()},
+                              title="Imagick before/after"))
+    speedup = orig.stats.cycles / opt.stats.cycles
+    print(f"\nspeedup: {speedup:.2f}x (paper: 1.93x), "
+          f"IPC {orig.stats.ipc:.2f} -> {opt.stats.ipc:.2f}")
+    return 0
+
+
+def cmd_record(args) -> int:
+    from .cpu import Machine, TraceWriter
+    with open(args.file) as handle:
+        program = assemble(handle.read(), name=args.file)
+    premapped = [(0, 1 << 28)] if args.map_all else None
+    machine = Machine(program, premapped_data=premapped)
+    with open(args.output, "wb") as out:
+        machine.attach(TraceWriter(out, machine.config.rob_banks))
+        stats = machine.run()
+    print(f"recorded {stats.cycles} cycles "
+          f"({stats.committed} instructions) to {args.output}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from .analysis import Symbolizer, profile_error
+    from .core import OracleProfiler, SampleSchedule
+    from .cpu import replay_trace
+    from .harness.experiment import POLICIES
+    with open(args.program) as handle:
+        program = assemble(handle.read(), name=args.program)
+    from .kernel import Kernel
+    image = Kernel().boot(program)
+    schedule = SampleSchedule(args.period)
+    profiler = POLICIES[args.policy](schedule, image)
+    oracle = OracleProfiler(image,
+                            watch_schedules=[SampleSchedule(args.period)])
+    cycles = replay_trace(args.trace, oracle, profiler)
+    oracle.report.total_cycles = cycles
+    granularity = Granularity(args.granularity)
+    profiles = {"Oracle": dict(sorted(
+        oracle.report.normalized_profile().items()))}
+    symbolizer = Symbolizer(image)
+    from .analysis import build_profile, normalize
+    profiles[args.policy] = normalize(build_profile(
+        profiler.samples, symbolizer, granularity))
+    error = profile_error(profiler, oracle.report, symbolizer,
+                          granularity)
+    print(f"replayed {cycles} cycles, {len(profiler.samples)} samples")
+    print(f"{args.policy} {granularity.value}-level error: {error:.2%}")
+    return 0
+
+
+def cmd_overhead(_args) -> int:
+    summary = summarize(CoreConfig.boom_4wide())
+    print(f"profiler storage:       {summary.storage_bytes} B")
+    print(f"TIP sample record:      {summary.tip_sample_bytes} B")
+    print(f"baseline sample record: {summary.baseline_sample_bytes} B")
+    print(f"TIP data rate @4kHz:    "
+          f"{summary.tip_rate_bytes_per_s / 1000:.0f} KB/s")
+    print(f"baseline rate @4kHz:    "
+          f"{summary.baseline_rate_bytes_per_s / 1000:.0f} KB/s")
+    print(f"Oracle trace rate:      "
+          f"{summary.oracle_rate_bytes_per_s / 1e9:.1f} GB/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TIP (MICRO 2021) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile = sub.add_parser("profile", help="profile an assembly file")
+    profile.add_argument("file")
+    profile.add_argument("--granularity", default="instruction",
+                         choices=[g.value for g in Granularity])
+    profile.add_argument("--top", type=int, default=15)
+    profile.add_argument("--map-all", action="store_true",
+                         help="premap the whole data address space")
+    _add_common(profile)
+    profile.set_defaults(func=cmd_profile)
+
+    suite = sub.add_parser("suite", help="run the benchmark suite")
+    suite.add_argument("benchmarks", nargs="*")
+    suite.add_argument("--scale", type=float, default=0.5)
+    _add_common(suite)
+    suite.set_defaults(func=cmd_suite)
+
+    stacks = sub.add_parser("stacks", help="print cycle stacks")
+    stacks.add_argument("benchmarks", nargs="*")
+    stacks.add_argument("--scale", type=float, default=0.5)
+    _add_common(stacks)
+    stacks.set_defaults(func=cmd_stacks)
+
+    imagick = sub.add_parser("imagick", help="run the case study")
+    _add_common(imagick)
+    imagick.set_defaults(func=cmd_imagick)
+
+    overhead = sub.add_parser("overhead",
+                              help="Section 3.2 overhead summary")
+    overhead.set_defaults(func=cmd_overhead)
+
+    record = sub.add_parser("record", help="record a commit-stage trace")
+    record.add_argument("file")
+    record.add_argument("-o", "--output", default="trace.tiptrace")
+    record.add_argument("--map-all", action="store_true")
+    record.set_defaults(func=cmd_record)
+
+    replay = sub.add_parser("replay", help="re-profile a recorded trace")
+    replay.add_argument("trace")
+    replay.add_argument("program")
+    replay.add_argument("--policy", default="TIP",
+                        choices=["Software", "Dispatch", "LCI", "NCI",
+                                 "NCI+ILP", "TIP-ILP", "TIP"])
+    replay.add_argument("--granularity", default="instruction",
+                        choices=[g.value for g in Granularity])
+    _add_common(replay)
+    replay.set_defaults(func=cmd_replay)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

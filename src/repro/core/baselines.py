@@ -1,0 +1,131 @@
+"""Baseline profilers: Software, Dispatch, LCI, NCI, and NCI+ILP.
+
+Each models the instruction-selection policy of a deployed profiler
+family (Section 5):
+
+* :class:`SoftwareProfiler` -- interrupt-based sampling (Linux perf
+  without hardware assist).  The sample lands on the address execution
+  will resume from after the in-flight instructions drain, i.e. the
+  front-end's fetch PC: *skid*.
+* :class:`DispatchProfiler` -- AMD IBS / Arm SPE: tag the instruction at
+  the dispatch stage and report it.  Biased towards instructions stuck at
+  dispatch behind back-pressure from a stalled ROB head (Figure 2b).
+* :class:`LciProfiler` -- external monitors (Arm CoreSight): report the
+  last-committed instruction.
+* :class:`NciProfiler` -- Intel PEBS: report the next-committing
+  instruction.
+* :class:`NciIlpProfiler` -- the Section 5.2 sensitivity variant: spread
+  the sample over all instructions in the next committing group.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cpu.trace import CycleRecord
+from .profiler import Outcome, SamplingProfiler
+from .sampling import SampleSchedule
+
+
+class SoftwareProfiler(SamplingProfiler):
+    """Interrupt-based sampling with skid.
+
+    On an interrupt the in-flight instructions drain and the handler
+    reads the PC execution will resume from -- the front-end's fetch PC,
+    tens to hundreds of instructions past the commit point.  The
+    optional *skid_cycles* adds interrupt-delivery latency on top: the
+    PC is captured that many cycles after the sampling decision, which
+    is how software-timer sampling behaves on real systems.
+    """
+
+    name = "Software"
+
+    def __init__(self, schedule: SampleSchedule, skid_cycles: int = 0):
+        super().__init__(schedule)
+        if skid_cycles < 0:
+            raise ValueError("skid_cycles must be >= 0")
+        self.skid_cycles = skid_cycles
+        self._deliver_at: Optional[int] = None
+
+    def _attribute(self, record: CycleRecord) -> Optional[Outcome]:
+        if self.skid_cycles == 0:
+            return [(record.fetch_pc, 1.0)], None
+        self._deliver_at = record.cycle + self.skid_cycles
+        return None
+
+    def _resolve(self, record: CycleRecord) -> Optional[Outcome]:
+        if self._deliver_at is not None and \
+                record.cycle >= self._deliver_at:
+            self._deliver_at = None
+            return [(record.fetch_pc, 1.0)], None
+        return None
+
+
+class DispatchProfiler(SamplingProfiler):
+    """Tag at dispatch, as AMD IBS and Arm SPE do."""
+
+    name = "Dispatch"
+
+    def _attribute(self, record: CycleRecord) -> Optional[Outcome]:
+        if record.dispatch_pc is not None:
+            return [(record.dispatch_pc, 1.0)], None
+        return None  # nothing at dispatch: tag the next arrival
+
+    def _resolve(self, record: CycleRecord) -> Optional[Outcome]:
+        if record.dispatch_pc is not None:
+            return [(record.dispatch_pc, 1.0)], None
+        return None
+
+
+class LciProfiler(SamplingProfiler):
+    """Report the last-committed instruction."""
+
+    name = "LCI"
+
+    def __init__(self, schedule: SampleSchedule):
+        super().__init__(schedule)
+        self._last_committed: Optional[int] = None
+
+    def _update_state(self, record: CycleRecord) -> None:
+        if record.committed:
+            self._last_committed = record.committed[-1].addr
+
+    def _attribute(self, record: CycleRecord) -> Optional[Outcome]:
+        if self._last_committed is not None:
+            return [(self._last_committed, 1.0)], None
+        return None  # before the first commit: wait for it
+
+    def _resolve(self, record: CycleRecord) -> Optional[Outcome]:
+        if record.committed:
+            return [(record.committed[-1].addr, 1.0)], None
+        return None
+
+
+class NciProfiler(SamplingProfiler):
+    """Report the next-committing instruction (Intel PEBS)."""
+
+    name = "NCI"
+
+    def _attribute(self, record: CycleRecord) -> Optional[Outcome]:
+        if record.committed:
+            return self._commit_group(record)
+        return None
+
+    def _resolve(self, record: CycleRecord) -> Optional[Outcome]:
+        if record.committed:
+            return self._commit_group(record)
+        return None
+
+    def _commit_group(self, record: CycleRecord) -> Outcome:
+        return [(record.committed[0].addr, 1.0)], None
+
+
+class NciIlpProfiler(NciProfiler):
+    """Commit-parallelism-aware NCI (Section 5.2 sensitivity study)."""
+
+    name = "NCI+ILP"
+    ilp_aware = True
+
+    def _commit_group(self, record: CycleRecord) -> Outcome:
+        share = 1.0 / len(record.committed)
+        return [(c.addr, share) for c in record.committed], None

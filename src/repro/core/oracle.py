@@ -1,0 +1,226 @@
+"""The Oracle profiler: the golden reference (Section 2.2).
+
+Oracle attributes *every* clock cycle to the instruction(s) whose latency
+the processor exposes in that cycle, using the four commit-stage states of
+Figure 3:
+
+* **Computing** -- one or more instructions commit: attribute ``1/n``
+  cycles to each of the ``n`` committing instructions.
+* **Stalled** -- the ROB is non-empty but nothing commits: attribute the
+  cycle to the instruction at the head of the ROB.
+* **Flushed** -- the ROB is empty because of misspeculation or an
+  exception: attribute the cycle to the instruction that emptied the ROB
+  (mispredicted branch, flushing CSR, or excepting instruction).
+* **Drained** -- the ROB is empty because the front-end is not supplying
+  instructions: attribute the cycle to the first instruction that enters
+  the ROB after the stall (resolved retroactively).
+
+Besides the full per-instruction time profile and per-category cycle
+stacks (Figure 7/13), Oracle can *watch* sampling schedules: for each
+sample point it records both the golden attribution of the sampled cycle
+and the golden attribution of the whole interval the sample represents.
+The error metric (Section 4) judges every practical profiler's sample
+against the latter: a sample stands for the entire period since the
+previous sample, so even a profiler that matches Oracle cycle-for-cycle
+retains *unsystematic* error that shrinks as the sampling frequency
+rises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..cpu.trace import CycleRecord, TraceObserver
+from ..isa.program import Program
+from .samples import Attribution, Category, FlushKind, stall_category
+from .sampling import SampleSchedule
+
+#: OIR flag values (mirrors TIP's 3-bit OIR flags).
+_FLAG_NONE = 0
+_FLAG_MISPREDICT = 1
+_FLAG_FLUSH = 2
+_FLAG_EXCEPTION = 3
+
+#: Key identifying a sampling schedule: (period, mode, seed).
+ScheduleKey = Tuple[int, str, int]
+
+
+def schedule_key(schedule: SampleSchedule) -> ScheduleKey:
+    return (schedule.period, schedule.mode, schedule.seed)
+
+
+class _IntervalAccumulator:
+    """Accumulates golden attribution between consecutive sample points."""
+
+    __slots__ = ("schedule", "current", "intervals")
+
+    def __init__(self, schedule: SampleSchedule):
+        self.schedule = schedule
+        self.current: Dict[int, float] = {}
+        #: sample cycle -> (addr -> golden cycles within the interval).
+        self.intervals: Dict[int, Dict[int, float]] = {}
+
+    def add(self, cycle: int, weights: Attribution) -> None:
+        current = self.current
+        for addr, weight in weights:
+            current[addr] = current.get(addr, 0.0) + weight
+        if self.schedule.is_sample(cycle):
+            self.intervals[cycle] = current
+            self.current = {}
+
+
+class OracleReport:
+    """Everything Oracle learned about a run."""
+
+    def __init__(self):
+        #: addr -> attributed cycles.
+        self.profile: Dict[int, float] = {}
+        #: (addr, category) -> attributed cycles.
+        self.categorized: Dict[Tuple[int, Category], float] = {}
+        #: category -> total cycles.
+        self.category_totals: Dict[Category, float] = {}
+        #: fine-grained flush breakdown (paper: "more fine-grained
+        #: categories"): FlushKind -> attributed cycles.
+        self.flush_breakdown: Dict[FlushKind, float] = {}
+        #: sample cycle -> golden attribution of that exact cycle.
+        self.watched: Dict[int, Tuple[Attribution, Category]] = {}
+        #: schedule key -> sample cycle -> golden interval attribution.
+        self.intervals: Dict[ScheduleKey, Dict[int, Dict[int, float]]] = {}
+        self.total_cycles = 0
+
+    def add(self, addr: int, weight: float, category: Category,
+            flush_kind: Optional[FlushKind] = None) -> None:
+        self.profile[addr] = self.profile.get(addr, 0.0) + weight
+        key = (addr, category)
+        self.categorized[key] = self.categorized.get(key, 0.0) + weight
+        self.category_totals[category] = \
+            self.category_totals.get(category, 0.0) + weight
+        if flush_kind is not None:
+            self.flush_breakdown[flush_kind] = \
+                self.flush_breakdown.get(flush_kind, 0.0) + weight
+
+    def interval_for(self, key: ScheduleKey,
+                     cycle: int) -> Optional[Dict[int, float]]:
+        per_cycle = self.intervals.get(key)
+        if per_cycle is None:
+            return None
+        return per_cycle.get(cycle)
+
+    def normalized_profile(self) -> Dict[int, float]:
+        """Profile as fraction of total attributed time."""
+        total = sum(self.profile.values())
+        if not total:
+            return {}
+        return {addr: t / total for addr, t in self.profile.items()}
+
+
+class OracleProfiler(TraceObserver):
+    """Cycle-exact time-proportional attribution over the commit trace.
+
+    Attribution is emitted strictly in cycle order (front-end drains delay
+    emission until the drain resolves, but nothing can be attributed in
+    between), which lets the interval accumulators see a clean stream.
+    """
+
+    def __init__(self, program: Program,
+                 watch_cycles: Optional[Iterable[int]] = None,
+                 watch_schedules: Optional[List[SampleSchedule]] = None):
+        self.program = program
+        self.report = OracleReport()
+        self._watch = set(watch_cycles or ())
+        self._watch_markers = []  # schedules marking per-cycle watches
+        self._accumulators: List[_IntervalAccumulator] = []
+        for schedule in watch_schedules or ():
+            self._watch_markers.append(schedule.clone())
+            accumulator = _IntervalAccumulator(schedule.clone())
+            self._accumulators.append(accumulator)
+            self.report.intervals[schedule_key(schedule)] = \
+                accumulator.intervals
+        # OIR mirror: address + flags of the most recent committing or
+        # excepting instruction.
+        self._oir_addr: Optional[int] = None
+        self._oir_flag = _FLAG_NONE
+        self._oir_kind: Optional[FlushKind] = None
+        # Cycles waiting for the end of a front-end drain.
+        self._pending_drain: List[int] = []
+
+    # -- trace consumption ---------------------------------------------------------
+
+    def on_cycle(self, record: CycleRecord) -> None:
+        cycle = record.cycle
+        for marker in self._watch_markers:
+            if marker.is_sample(cycle):
+                self._watch.add(cycle)
+
+        # A drain ends when the first instruction enters the ROB.
+        if self._pending_drain and record.dispatched:
+            self._resolve_drain(record.dispatched[0])
+
+        if record.exception is not None:
+            # The core is about to trigger an exception: the empty-ROB
+            # cycles that follow belong to the excepting instruction.
+            self._oir_addr = record.exception
+            self._oir_flag = _FLAG_EXCEPTION
+            self._oir_kind = (FlushKind.ORDERING
+                              if record.exception_is_ordering
+                              else FlushKind.EXCEPTION)
+            self._emit(cycle, [(record.exception, 1.0)],
+                       Category.MISC_FLUSH, self._oir_kind)
+            return
+
+        if record.committed:
+            share = 1.0 / len(record.committed)
+            weights = [(c.addr, share) for c in record.committed]
+            self._emit(cycle, weights, Category.EXECUTION)
+            youngest = record.committed[-1]
+            self._oir_addr = youngest.addr
+            if youngest.mispredicted:
+                self._oir_flag = _FLAG_MISPREDICT
+                self._oir_kind = FlushKind.MISPREDICT
+            elif youngest.flushes:
+                self._oir_flag = _FLAG_FLUSH
+                self._oir_kind = FlushKind.CSR
+            else:
+                self._oir_flag = _FLAG_NONE
+                self._oir_kind = None
+            return
+
+        if not record.rob_empty:
+            category = stall_category(self.program, record.rob_head)
+            self._emit(cycle, [(record.rob_head, 1.0)], category)
+            return
+
+        # Empty ROB: flushed if the OIR carries a flush reason, else a
+        # front-end drain resolved at the next dispatch.
+        if self._oir_flag == _FLAG_MISPREDICT:
+            self._emit(cycle, [(self._oir_addr, 1.0)],
+                       Category.MISPREDICT, self._oir_kind)
+        elif self._oir_flag in (_FLAG_FLUSH, _FLAG_EXCEPTION):
+            self._emit(cycle, [(self._oir_addr, 1.0)],
+                       Category.MISC_FLUSH, self._oir_kind)
+        else:
+            self._pending_drain.append(cycle)
+
+    def on_finish(self, final_cycle: int) -> None:
+        # Any unresolved drain at the end of the run has no successor
+        # instruction; those cycles are dropped (they cannot occur after
+        # the final halt commits, so this only covers truncated runs).
+        self._pending_drain.clear()
+        self.report.total_cycles = final_cycle
+
+    # -- internals -------------------------------------------------------------------
+
+    def _resolve_drain(self, addr: int) -> None:
+        pending, self._pending_drain = self._pending_drain, []
+        for cycle in pending:
+            self._emit(cycle, [(addr, 1.0)], Category.FRONTEND)
+
+    def _emit(self, cycle: int, weights: Attribution,
+              category: Category,
+              flush_kind: Optional[FlushKind] = None) -> None:
+        for addr, weight in weights:
+            self.report.add(addr, weight, category, flush_kind)
+        if cycle in self._watch:
+            self.report.watched[cycle] = (weights, category)
+        for accumulator in self._accumulators:
+            accumulator.add(cycle, weights)

@@ -1,0 +1,106 @@
+"""Base machinery shared by all sampling profilers.
+
+Every practical profiler consumes the commit-stage trace, keeps whatever
+state its hardware would keep, and takes a sample whenever its
+:class:`~repro.core.sampling.SampleSchedule` fires.  Some policies cannot
+attribute a sample at the sampled cycle (NCI must wait for the next
+commit; TIP's drained samples wait for the next dispatch) -- those become
+*pending* samples that resolve on a later cycle.  Samples that never
+resolve before the run ends keep an empty attribution and count as
+misattributed, which is the conservative choice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..cpu.trace import CycleRecord, TraceObserver
+from .samples import Attribution, Category, Sample
+from .sampling import SampleSchedule
+
+#: Return value of ``_attribute``/``_resolve`` hooks.
+Outcome = Tuple[Attribution, Optional[Category]]
+
+
+class SamplingProfiler(TraceObserver):
+    """A statistical profiler driven by a sample schedule."""
+
+    #: Short policy name used in reports ("TIP", "NCI", ...).
+    name = "base"
+    #: Whether samples may carry multiple addresses (sizes the perf
+    #: record, Section 3.2).
+    ilp_aware = False
+
+    def __init__(self, schedule: SampleSchedule):
+        self.schedule = schedule
+        self.samples: List[Sample] = []
+        self._prev_sample_cycle = -1
+        self._pending: List[Sample] = []
+
+    # -- subclass hooks ------------------------------------------------------------
+
+    def _update_state(self, record: CycleRecord) -> None:
+        """Track whatever hardware state this policy needs."""
+
+    def _attribute(self, record: CycleRecord) -> Optional[Outcome]:
+        """Attribute a sample taken at *record*; ``None`` defers it."""
+        raise NotImplementedError
+
+    def _resolve(self, record: CycleRecord) -> Optional[Outcome]:
+        """Try to resolve pending samples with a later *record*."""
+        return None
+
+    # -- trace consumption -----------------------------------------------------------
+
+    def on_cycle(self, record: CycleRecord) -> None:
+        self._update_state(record)
+        if self._pending:
+            outcome = self._resolve(record)
+            if outcome is not None:
+                weights, category = outcome
+                for sample in self._pending:
+                    sample.weights = weights
+                    sample.category = category
+                self._pending.clear()
+        if self.schedule.is_sample(record.cycle):
+            self._take_sample(record)
+
+    def on_finish(self, final_cycle: int) -> None:
+        self._pending.clear()
+
+    def _take_sample(self, record: CycleRecord) -> None:
+        # Periodic sampling: the sample represents the cycles since the
+        # previous sample.  Random sampling draws one sample uniformly
+        # within each period-long interval, so the unbiased
+        # (Horvitz-Thompson) weight is the constant period -- using the
+        # realized spacing would add estimator noise.
+        if self.schedule.mode == "random":
+            interval = self.schedule.period
+        else:
+            interval = record.cycle - self._prev_sample_cycle
+        self._prev_sample_cycle = record.cycle
+        sample = Sample(record.cycle, interval, [], None)
+        self.samples.append(sample)
+        outcome = self._attribute(record)
+        if outcome is None:
+            self._pending.append(sample)
+        else:
+            sample.weights, sample.category = outcome
+
+    # -- results -----------------------------------------------------------------------
+
+    @property
+    def sampled_cycles(self) -> int:
+        return sum(s.interval for s in self.samples)
+
+    def profile(self) -> dict:
+        """Aggregate samples into an addr -> time profile."""
+        profile: dict = {}
+        for sample in self.samples:
+            for addr, fraction in sample.weights:
+                profile[addr] = profile.get(addr, 0.0) + \
+                    sample.interval * fraction
+        return profile
+
+    def __repr__(self) -> str:
+        return f"<{self.name} profiler: {len(self.samples)} samples>"

@@ -1,0 +1,19 @@
+"""Out-of-order core substrate (BOOM-style, Table 1 configuration)."""
+
+from .branch import BranchTargetBuffer, Prediction, ReturnAddressStack, \
+    TagePredictor
+from .config import CoreConfig
+from .core import Core, CoreStats, SimulationError
+from .machine import Machine
+from .trace import (CommittedInst, CycleRecord, HeadEntry, TraceCollector,
+                    TraceObserver, replay)
+from .tracefile import TraceWriter, read_trace, replay_trace
+from .uop import MicroOp
+
+__all__ = [
+    "BranchTargetBuffer", "Prediction", "ReturnAddressStack",
+    "TagePredictor", "CoreConfig", "Core", "CoreStats", "SimulationError",
+    "Machine", "CommittedInst", "CycleRecord", "HeadEntry",
+    "TraceCollector", "TraceObserver", "replay", "MicroOp",
+    "TraceWriter", "read_trace", "replay_trace",
+]

@@ -1,0 +1,701 @@
+"""The out-of-order core.
+
+A cycle-driven model of a BOOM-style superscalar processor: in-order
+front-end (fetch with branch prediction, decode, dispatch), out-of-order
+issue and execution, and in-order commit through a banked ROB.  Every
+cycle the core emits a :class:`~repro.cpu.trace.CycleRecord` to its
+attached trace observers -- the commit-stage trace that the Oracle, TIP
+and all baseline profilers consume out-of-band, exactly mirroring the
+paper's FireSim methodology.
+
+The model is a *timing* simulator with embedded functional execution:
+instruction semantics run when a uop issues, architectural state (register
+file, memory, fflags) is updated at commit, and squashes discard the
+speculative results that were carried on the uops.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..isa.instruction import Instruction, Register
+from ..isa.opcodes import Kind, Op, Unit
+from ..isa.program import Program
+from ..isa.semantics import evaluate
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.tlb import vpn_of
+from .branch import BranchTargetBuffer, ReturnAddressStack, TagePredictor
+from .config import CoreConfig
+from .trace import CommittedInst, CycleRecord, HeadEntry, TraceObserver
+from .uop import MicroOp
+
+_WORD_SHIFT = 3  # conflict detection at 8-byte granularity
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulated program does something unsupported."""
+
+
+class CoreStats:
+    """Aggregate statistics of one simulation run."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.committed = 0
+        self.fetched = 0
+        self.branch_mispredicts = 0
+        self.csr_flushes = 0
+        self.exceptions = 0
+        self.ordering_flushes = 0
+        self.commit_hist = [0] * 16
+        self.sampling_interrupts = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<stats cycles={self.cycles} insts={self.committed} "
+                f"ipc={self.ipc:.2f} mispredicts={self.branch_mispredicts}>")
+
+
+class Core:
+    """A single out-of-order core executing one program."""
+
+    def __init__(self, program: Program, config: Optional[CoreConfig] = None,
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 kernel=None):
+        self.config = config or CoreConfig.boom_4wide()
+        self.program = program
+        self.hierarchy = hierarchy or MemoryHierarchy(self.config.memory)
+        #: Kernel model providing ``handler_entry`` and ``on_page_fault``.
+        self.kernel = kernel
+
+        # Architectural state.
+        self.regs: List = [0] * Register.TOTAL
+        self.memory: Dict[int, float] = dict(program.data)
+        self.fflags = 0
+        self.epc = 0
+
+        # Front-end state.
+        self.fetch_pc = program.entry
+        self.fetch_ready_cycle = 0
+        self._last_fetch_block: Optional[int] = None
+        self.fetch_buffer: Deque[MicroOp] = deque()
+        self.predictor = TagePredictor()
+        self.btb = BranchTargetBuffer(self.config.btb_entries)
+        self.ras = ReturnAddressStack(self.config.ras_entries)
+        self.outstanding_branches = 0
+
+        # Back-end state.
+        self.rob: Deque[MicroOp] = deque()
+        self.int_iq: List[MicroOp] = []
+        self.mem_iq: List[MicroOp] = []
+        self.fp_iq: List[MicroOp] = []
+        self.load_queue: List[MicroOp] = []
+        self.store_queue: List[MicroOp] = []
+        self._store_drains: List[Tuple[int, MicroOp]] = []
+        self.producers: Dict[int, MicroOp] = {}
+        self.serialize_uop: Optional[MicroOp] = None
+        self._resolve_queue: List[MicroOp] = []
+        self._next_bank = 0
+        self._next_seq = 0
+
+        self.cycle = 0
+        self.halted = False
+        self.stats = CoreStats()
+        self.observers: List[TraceObserver] = []
+
+        # Sampling-interrupt support (Section 3.2 overhead experiment):
+        # when a schedule fires, the core traps to a perf handler that
+        # copies the sample to memory, then resumes via sret.
+        self.sampling_schedule = None
+        self.sampling_handler_entry: Optional[int] = None
+        self._interrupt_pending = False
+        self._in_trap = False
+
+        # Per-cycle scratch (rebuilt each cycle).
+        self._committed_now: List[CommittedInst] = []
+        self._dispatched_now: List[int] = []
+        self._exception_now: Optional[int] = None
+        self._exception_ordering = False
+
+    # -- public API -------------------------------------------------------------
+
+    def attach(self, observer: TraceObserver) -> None:
+        self.observers.append(observer)
+
+    def run(self, max_cycles: int = 10_000_000) -> CoreStats:
+        """Run until the program halts (or *max_cycles* elapse)."""
+        while not self.halted:
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"program did not halt within {max_cycles} cycles")
+            self.step()
+        self.stats.cycles = self.cycle
+        for observer in self.observers:
+            observer.on_finish(self.cycle)
+        return self.stats
+
+    def step(self) -> None:
+        """Advance the core by one clock cycle."""
+        cycle = self.cycle
+        self._committed_now = []
+        self._dispatched_now = []
+        self._exception_now = None
+        self._exception_ordering = False
+
+        if self.sampling_schedule is not None and \
+                self.sampling_schedule.is_sample(cycle):
+            self._interrupt_pending = True
+
+        self._resolve_branches(cycle)
+        self._commit_stage(cycle)
+        self._drain_stores(cycle)
+        self._issue_stage(cycle)
+        self._dispatch_stage(cycle)
+        self._fetch_stage(cycle)
+        self._emit_record(cycle)
+        self.cycle = cycle + 1
+
+    # -- branch resolution ---------------------------------------------------------
+
+    def _resolve_branches(self, cycle: int) -> None:
+        if not self._resolve_queue:
+            return
+        pending = sorted((u for u in self._resolve_queue), key=lambda u: u.seq)
+        self._resolve_queue = []
+        for uop in pending:
+            if uop.squashed:
+                continue
+            if uop.done_cycle > cycle:
+                self._resolve_queue.append(uop)
+                continue
+            self.outstanding_branches = max(0, self.outstanding_branches - 1)
+            if uop.mispredicted:
+                self.stats.branch_mispredicts += 1
+                self._squash_after(uop.seq, uop.actual_target, cycle)
+
+    # -- commit ------------------------------------------------------------------
+
+    def _commit_stage(self, cycle: int) -> None:
+        if self._interrupt_pending and not self._in_trap and self.rob \
+                and self.rob[0].fault_vpn is None:
+            self._take_sampling_interrupt(cycle)
+            return
+        width = self.config.commit_width
+        while self.rob and len(self._committed_now) < width:
+            head = self.rob[0]
+            if not head.done_by(cycle):
+                break
+
+            if head.fault_vpn is not None:
+                if self._committed_now:
+                    break  # the exception fires alone, next cycle
+                self._take_exception(head, cycle)
+                break
+
+            if head.order_violation:
+                if self._committed_now:
+                    break
+                self._take_ordering_flush(head, cycle)
+                break
+
+            # Stores need a free write-buffer slot to commit; a full
+            # buffer of in-flight drains stalls the store at the ROB head.
+            if head.inst.is_store and \
+                    len(self._store_drains) >= \
+                    self.config.store_buffer_entries:
+                break
+
+            self._commit_one(head, cycle)
+
+            if head.inst.flushes_on_commit:
+                self._flush_after_commit(head, cycle)
+                break
+            if head.inst.is_halt:
+                self.halted = True
+                break
+
+    def _commit_one(self, uop: MicroOp, cycle: int) -> None:
+        inst = uop.inst
+        self.rob.popleft()
+        uop.commit_cycle = cycle
+        self.stats.committed += 1
+
+        # Architectural register update.
+        if inst.rd is not None and inst.rd != 0:
+            self.regs[inst.rd] = uop.result
+        if self.producers.get(inst.rd) is uop:
+            del self.producers[inst.rd]
+
+        # Memory update and store-drain initiation.
+        if inst.is_store:
+            self.memory[uop.eff_addr] = uop.store_value
+            outcome = self.hierarchy.data_access(uop.eff_addr, cycle,
+                                                 is_write=True)
+            self._store_drains.append((cycle + outcome.latency, uop))
+        if uop in self.load_queue:
+            self.load_queue.remove(uop)
+
+        # CSR side effects.
+        if inst.op is Op.FSFLAGS:
+            self.fflags = int(self._operand_value(uop, 0))
+            self.stats.csr_flushes += 1
+        elif inst.op in (Op.FRFLAGS, Op.CSRRW, Op.ECALL):
+            self.stats.csr_flushes += 1
+
+        # Predictor training.
+        if inst.is_branch and uop.prediction is not None:
+            self.predictor.update(inst.addr, uop.actual_taken, uop.prediction)
+        if uop.actual_taken and uop.actual_target is not None and \
+                inst.is_control:
+            self.btb.insert(inst.addr, uop.actual_target)
+
+        if self.serialize_uop is uop:
+            self.serialize_uop = None
+
+        self._committed_now.append(
+            CommittedInst(inst.addr, uop.bank, uop.mispredicted,
+                          inst.flushes_on_commit))
+
+    def _flush_after_commit(self, uop: MicroOp, cycle: int) -> None:
+        """Pipeline flush triggered by a committing CSR/sret instruction."""
+        if uop.inst.op is Op.SRET:
+            target = self.epc
+            self._in_trap = False
+        else:
+            target = uop.inst.next_addr
+        self._squash_after(uop.seq, target, cycle)
+        self.fetch_ready_cycle += self.config.flush_refill_penalty
+
+    def _take_exception(self, uop: MicroOp, cycle: int) -> None:
+        """A precise page-fault exception at the head of the ROB."""
+        if self.kernel is None:
+            raise SimulationError(
+                f"page fault at {uop.addr:#x} (vpn {uop.fault_vpn:#x}) "
+                "but no kernel is attached")
+        self.stats.exceptions += 1
+        self._in_trap = True
+        self.epc = uop.addr
+        handler_entry = self.kernel.on_page_fault(uop.fault_vpn, cycle)
+        self._exception_now = uop.addr
+        self._exception_ordering = False
+        self._squash_from(uop.seq, handler_entry, cycle)
+        self.fetch_ready_cycle += self.config.flush_refill_penalty
+
+    def _take_sampling_interrupt(self, cycle: int) -> None:
+        """Trap to the perf sample-collection handler.
+
+        The oldest in-flight instruction becomes the resume point; the
+        handler copies the sample to the perf buffer and returns with
+        ``sret``, after which execution re-fetches from the EPC.
+        """
+        self.stats.sampling_interrupts += 1
+        self._interrupt_pending = False
+        self._in_trap = True
+        head = self.rob[0]
+        self.epc = head.addr
+        self._squash_from(head.seq, self.sampling_handler_entry, cycle)
+        self.fetch_ready_cycle += self.config.flush_refill_penalty
+
+    def _take_ordering_flush(self, uop: MicroOp, cycle: int) -> None:
+        """Memory-ordering mini-exception: replay from the offending load."""
+        self.stats.ordering_flushes += 1
+        self._exception_now = uop.addr
+        self._exception_ordering = True
+        self._squash_from(uop.seq, uop.addr, cycle)
+        self.fetch_ready_cycle += self.config.flush_refill_penalty
+
+    # -- squash ----------------------------------------------------------------
+
+    def _squash_after(self, seq: int, refetch_pc: int, cycle: int) -> None:
+        self._squash_from(seq + 1, refetch_pc, cycle)
+
+    def _squash_from(self, seq: int, refetch_pc: int, cycle: int) -> None:
+        """Discard every uop with sequence number >= *seq* and redirect."""
+        def keep(items):
+            return [u for u in items if u.seq < seq]
+
+        for uop in self.rob:
+            if uop.seq >= seq:
+                uop.squashed = True
+        while self.rob and self.rob[-1].seq >= seq:
+            self.rob.pop()
+        self.int_iq = keep(self.int_iq)
+        self.mem_iq = keep(self.mem_iq)
+        self.fp_iq = keep(self.fp_iq)
+        self.load_queue = keep(self.load_queue)
+        self.store_queue = [u for u in self.store_queue
+                            if u.seq < seq or u.commit_cycle >= 0]
+        for uop in self.fetch_buffer:
+            uop.squashed = True
+        self.fetch_buffer.clear()
+        self._resolve_queue = keep(self._resolve_queue)
+
+        # Rebuild the rename map from the surviving in-flight uops.
+        self.producers.clear()
+        for uop in self.rob:
+            rd = uop.inst.rd
+            if rd is not None and rd != 0:
+                self.producers[rd] = uop
+
+        if self.serialize_uop is not None and self.serialize_uop.seq >= seq:
+            self.serialize_uop = None
+        self.outstanding_branches = sum(
+            1 for u in self.rob
+            if (u.inst.is_branch or u.inst.is_return) and not u.executed)
+
+        self._next_bank = ((self.rob[-1].bank + 1) % self.config.rob_banks
+                           if self.rob else 0)
+        self.fetch_pc = refetch_pc
+        # A redirect cancels any in-progress fetch stall; the new target
+        # performs its own I-cache access.
+        self.fetch_ready_cycle = cycle + 1
+        self._last_fetch_block = None
+
+    # -- stores draining to memory ---------------------------------------------------
+
+    def _drain_stores(self, cycle: int) -> None:
+        if not self._store_drains:
+            return
+        remaining = []
+        for done, uop in self._store_drains:
+            if done <= cycle:
+                if uop in self.store_queue:
+                    self.store_queue.remove(uop)
+            else:
+                remaining.append((done, uop))
+        self._store_drains = remaining
+
+    # -- issue / execute -----------------------------------------------------------
+
+    def _issue_stage(self, cycle: int) -> None:
+        self._issue_from(self.int_iq, self.config.int_issue_width, cycle)
+        self._issue_from(self.mem_iq, self.config.mem_issue_width, cycle)
+        self._issue_from(self.fp_iq, self.config.fp_issue_width, cycle)
+
+    def _issue_from(self, iq: List[MicroOp], width: int, cycle: int) -> None:
+        issued: List[MicroOp] = []
+        for uop in iq:
+            if len(issued) >= width:
+                break
+            if not self._sources_ready(uop, cycle):
+                continue
+            if uop.inst.is_mem:
+                if not self._issue_mem(uop, cycle):
+                    continue
+            else:
+                self._issue_alu(uop, cycle)
+            issued.append(uop)
+        for uop in issued:
+            iq.remove(uop)
+
+    def _sources_ready(self, uop: MicroOp, cycle: int) -> bool:
+        for producer in uop.src_uops:
+            if producer is None:
+                continue
+            if not producer.done_by(cycle):
+                return False
+            if producer.fault_vpn is not None:
+                # A faulting producer never broadcasts a result; its
+                # consumers wait and are squashed when the exception
+                # fires at the head of the ROB.
+                return False
+        return True
+
+    def _operand_value(self, uop: MicroOp, index: int):
+        producer = uop.src_uops[index]
+        if producer is not None:
+            return producer.result
+        reg = uop.inst.sources[index]
+        return 0 if reg == 0 else self.regs[reg]
+
+    def _operands(self, uop: MicroOp) -> tuple:
+        return tuple(self._operand_value(uop, i)
+                     for i in range(len(uop.inst.sources)))
+
+    def _issue_alu(self, uop: MicroOp, cycle: int) -> None:
+        inst = uop.inst
+        result = evaluate(inst, self._operands(uop), self.fflags)
+        uop.result = result.value
+        uop.issued = True
+        uop.issue_cycle = cycle
+        uop.executed = True
+        uop.done_cycle = cycle + inst.latency
+        if inst.is_control:
+            uop.actual_taken = result.taken
+            uop.actual_target = (result.target if result.taken
+                                 else inst.next_addr)
+            uop.mispredicted = uop.actual_target != uop.predicted_target
+            if inst.is_branch or inst.is_return:
+                self._resolve_queue.append(uop)
+
+    def _issue_mem(self, uop: MicroOp, cycle: int) -> bool:
+        inst = uop.inst
+        result = evaluate(inst, self._operands(uop), self.fflags)
+        eff_addr = result.eff_addr
+        agu = self.config.agu_latency
+
+        if inst.kind is Kind.ATOMIC:
+            old = self.memory.get(eff_addr, 0)
+            outcome = self.hierarchy.data_access(eff_addr, cycle + agu)
+            if outcome.fault:
+                return self._mem_fault(uop, eff_addr, cycle, agu, outcome)
+            uop.eff_addr = eff_addr
+            uop.result = old
+            uop.store_value = old + result.store_value
+            uop.issued = uop.executed = True
+            uop.issue_cycle = cycle
+            uop.done_cycle = cycle + agu + outcome.latency + 1
+            return True
+
+        if inst.is_store:
+            # Translate and prefetch-for-ownership at execute; the store
+            # itself completes once its address and data are known, and the
+            # data drains to the cache after commit.
+            outcome = self.hierarchy.data_access(eff_addr, cycle + agu)
+            if outcome.fault:
+                return self._mem_fault(uop, eff_addr, cycle, agu, outcome)
+            uop.eff_addr = eff_addr
+            uop.store_value = result.store_value
+            uop.issued = uop.executed = True
+            uop.issue_cycle = cycle
+            uop.done_cycle = cycle + agu
+            if self.config.enable_ordering_violations:
+                self._check_ordering(uop)
+            return True
+
+        # Loads: try store-to-load forwarding first.
+        forwarded = self._try_forward(uop, eff_addr)
+        if forwarded is _FORWARD_WAIT:
+            return False
+        uop.eff_addr = eff_addr
+        uop.issued = True
+        uop.issue_cycle = cycle
+        if forwarded is not _NO_FORWARD:
+            uop.result = forwarded
+            uop.executed = True
+            uop.done_cycle = cycle + agu + self.config.store_forward_latency
+            return True
+
+        outcome = self.hierarchy.data_access(eff_addr, cycle + agu)
+        if outcome.fault:
+            return self._mem_fault(uop, eff_addr, cycle, agu, outcome)
+        uop.result = self.memory.get(eff_addr, 0)
+        uop.executed = True
+        uop.done_cycle = cycle + agu + outcome.latency
+        return True
+
+    def _mem_fault(self, uop: MicroOp, eff_addr: int, cycle: int,
+                   agu: int, outcome) -> bool:
+        uop.eff_addr = eff_addr
+        uop.fault_vpn = vpn_of(eff_addr)
+        uop.issued = uop.executed = True
+        uop.issue_cycle = cycle
+        uop.done_cycle = cycle + agu + outcome.latency
+        return True
+
+    def _try_forward(self, load: MicroOp, eff_addr: int):
+        """Scan older stores in the SQ; youngest conflicting one wins."""
+        word = eff_addr >> _WORD_SHIFT
+        for store in reversed(self.store_queue):
+            if store.seq >= load.seq:
+                continue
+            if not store.executed:
+                continue  # unknown address: speculate past it
+            if store.eff_addr is not None and \
+                    (store.eff_addr >> _WORD_SHIFT) == word:
+                if store.store_value is None:
+                    return _FORWARD_WAIT
+                return store.store_value
+        return _NO_FORWARD
+
+    def _check_ordering(self, store: MicroOp) -> None:
+        """Flag younger, already-executed loads to the same word."""
+        word = store.eff_addr >> _WORD_SHIFT
+        for load in self.load_queue:
+            if load.seq > store.seq and load.executed and \
+                    load.eff_addr is not None and \
+                    (load.eff_addr >> _WORD_SHIFT) == word and \
+                    load.fault_vpn is None:
+                load.order_violation = True
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _iq_for(self, inst: Instruction):
+        unit = inst.unit
+        if unit is Unit.MEM:
+            return self.mem_iq, self.config.mem_iq_entries
+        if unit is Unit.FP:
+            return self.fp_iq, self.config.fp_iq_entries
+        return self.int_iq, self.config.int_iq_entries
+
+    def _dispatch_stage(self, cycle: int) -> None:
+        cfg = self.config
+        count = 0
+        while count < cfg.decode_width and self.fetch_buffer:
+            if self.serialize_uop is not None:
+                break
+            uop = self.fetch_buffer[0]
+            if uop.visible_cycle > cycle:
+                break
+            inst = uop.inst
+            if inst.is_serializing and (self.rob or self.store_queue):
+                break
+            if len(self.rob) >= cfg.rob_entries:
+                break
+            iq, capacity = self._iq_for(inst)
+            if len(iq) >= capacity:
+                break
+            if inst.is_load and \
+                    len(self.load_queue) >= cfg.load_queue_entries:
+                break
+            if inst.is_store and \
+                    len(self.store_queue) >= cfg.store_queue_entries:
+                break
+
+            self.fetch_buffer.popleft()
+            uop.dispatch_cycle = cycle
+            uop.bank = self._next_bank
+            self._next_bank = (self._next_bank + 1) % cfg.rob_banks
+            uop.src_uops = tuple(
+                self.producers.get(reg) if reg != 0 else None
+                for reg in inst.sources)
+            if inst.rd is not None and inst.rd != 0:
+                self.producers[inst.rd] = uop
+            self.rob.append(uop)
+            iq.append(uop)
+            if inst.is_load and inst.kind is not Kind.ATOMIC:
+                self.load_queue.append(uop)
+            if inst.is_store:
+                self.store_queue.append(uop)
+            self._dispatched_now.append(inst.addr)
+            count += 1
+            if inst.is_serializing:
+                self.serialize_uop = uop
+                break
+
+    # -- fetch ------------------------------------------------------------------
+
+    def _fetch_stage(self, cycle: int) -> None:
+        if self.halted or cycle < self.fetch_ready_cycle:
+            return
+        cfg = self.config
+        block_size = cfg.memory.block_size
+        budget = cfg.fetch_width
+        while budget > 0 and len(self.fetch_buffer) < cfg.fetch_buffer_entries:
+            if self.outstanding_branches >= cfg.max_outstanding_branches:
+                break
+            inst = self.program.fetch(self.fetch_pc)
+            if inst is None:
+                break  # off the text segment (wrong path); wait for redirect
+
+            block = self.fetch_pc // block_size
+            if block != self._last_fetch_block:
+                outcome = self.hierarchy.inst_fetch(self.fetch_pc, cycle)
+                self._last_fetch_block = block
+                if outcome.latency > cfg.memory.l1i_latency + 1:
+                    self.fetch_ready_cycle = cycle + outcome.latency
+                    break
+
+            uop = MicroOp(inst, self._next_seq, cycle,
+                          cycle + cfg.frontend_latency)
+            self._next_seq += 1
+            self.stats.fetched += 1
+            redirected = self._predict(uop, cycle)
+            self.fetch_buffer.append(uop)
+            budget -= 1
+            if redirected:
+                break
+
+    def _predict(self, uop: MicroOp, cycle: int) -> bool:
+        """Predict control flow for a fetched uop; returns True on redirect."""
+        inst = uop.inst
+        if inst.is_branch:
+            prediction = self.predictor.predict(inst.addr)
+            uop.prediction = prediction
+            self.outstanding_branches += 1
+            if prediction.taken:
+                uop.predicted_taken = True
+                uop.predicted_target = inst.imm
+                if self.btb.lookup(inst.addr) is None:
+                    # Target resolved at decode: short front-end bubble.
+                    self.fetch_ready_cycle = \
+                        cycle + self.config.btb_miss_penalty
+                self.fetch_pc = inst.imm
+                return True
+            uop.predicted_target = inst.next_addr
+            self.fetch_pc = inst.next_addr
+            return False
+
+        if inst.is_call:
+            if inst.rd in (Register.x(1), Register.x(2)):
+                self.ras.push(inst.next_addr)
+            uop.predicted_taken = True
+            uop.predicted_target = inst.imm
+            self.fetch_pc = inst.imm
+            return True
+
+        if inst.is_return:
+            looks_like_return = (inst.rd == 0 and inst.sources[0] in
+                                 (Register.x(1), Register.x(2)))
+            target = self.ras.pop() if looks_like_return else None
+            if target is None:
+                target = self.btb.lookup(inst.addr)
+            if target is None:
+                target = inst.next_addr  # will almost surely mispredict
+            uop.predicted_taken = True
+            uop.predicted_target = target
+            self.outstanding_branches += 1
+            self.fetch_pc = target
+            return target != inst.next_addr
+
+        uop.predicted_target = inst.next_addr
+        self.fetch_pc = inst.next_addr
+        return False
+
+    # -- trace emission --------------------------------------------------------------
+
+    def _emit_record(self, cycle: int) -> None:
+        if self._committed_now:
+            self.stats.commit_hist[len(self._committed_now)] += 1
+        banks = self.config.rob_banks
+        head_banks: List[Optional[HeadEntry]] = [None] * banks
+        rob = self.rob
+        for i in range(min(banks, len(rob))):
+            uop = rob[i]
+            head_banks[uop.bank] = HeadEntry(uop.inst.addr, False)
+        record = CycleRecord(
+            cycle=cycle,
+            committed=tuple(self._committed_now),
+            rob_head=rob[0].inst.addr if rob else None,
+            rob_empty=not rob,
+            exception=self._exception_now,
+            exception_is_ordering=self._exception_ordering,
+            dispatched=tuple(self._dispatched_now),
+            dispatch_pc=(self.fetch_buffer[0].inst.addr
+                         if self.fetch_buffer else None),
+            fetch_pc=self.fetch_pc,
+            head_banks=tuple(head_banks),
+            oldest_bank=rob[0].bank if rob else 0,
+        )
+        for observer in self.observers:
+            observer.on_cycle(record)
+
+
+class _ForwardSentinel:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: Load must wait: a conflicting older store has no data yet.
+_FORWARD_WAIT = _ForwardSentinel("FORWARD_WAIT")
+#: No conflicting older store: go to the cache.
+_NO_FORWARD = _ForwardSentinel("NO_FORWARD")

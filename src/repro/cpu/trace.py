@@ -1,0 +1,132 @@
+"""Per-cycle commit-stage trace.
+
+The paper modified FireSim to "trace out the instruction address and the
+valid, commit, exception, flush, and mispredicted flags of the head
+ROB-entry in each ROB bank every cycle" and modelled all profilers
+out-of-band on that trace.  :class:`CycleRecord` is our equivalent.  The
+core produces one record per cycle and hands it to every attached
+:class:`TraceObserver`; records are transient, so arbitrarily long runs
+need no trace storage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class CommittedInst:
+    """One instruction committed in a cycle, in program order."""
+
+    __slots__ = ("addr", "bank", "mispredicted", "flushes")
+
+    def __init__(self, addr: int, bank: int, mispredicted: bool,
+                 flushes: bool):
+        self.addr = addr
+        self.bank = bank
+        #: The instruction was a mispredicted branch.
+        self.mispredicted = mispredicted
+        #: The instruction flushed the pipeline at commit (CSR, sret).
+        self.flushes = flushes
+
+    def __repr__(self) -> str:
+        flags = ("M" if self.mispredicted else "") + \
+            ("F" if self.flushes else "")
+        return f"<commit {self.addr:#x} bank={self.bank} {flags}>"
+
+
+class HeadEntry:
+    """Head-of-bank ROB entry as seen by TIP's sample-selection unit."""
+
+    __slots__ = ("addr", "committing")
+
+    def __init__(self, addr: int, committing: bool):
+        self.addr = addr
+        self.committing = committing
+
+
+class CycleRecord:
+    """Everything the profilers may observe about one clock cycle."""
+
+    __slots__ = (
+        "cycle", "committed", "rob_head", "rob_empty", "exception",
+        "exception_is_ordering", "dispatched", "dispatch_pc", "fetch_pc",
+        "head_banks", "oldest_bank",
+    )
+
+    def __init__(self, cycle: int,
+                 committed: Sequence[CommittedInst],
+                 rob_head: Optional[int],
+                 rob_empty: bool,
+                 exception: Optional[int],
+                 exception_is_ordering: bool,
+                 dispatched: Sequence[int],
+                 dispatch_pc: Optional[int],
+                 fetch_pc: int,
+                 head_banks: Sequence[Optional[HeadEntry]],
+                 oldest_bank: int):
+        self.cycle = cycle
+        #: Instructions committed this cycle, oldest first.
+        self.committed = committed
+        #: Address of the oldest in-flight instruction after commit.
+        self.rob_head = rob_head
+        #: ROB is empty at the end of this cycle.
+        self.rob_empty = rob_empty
+        #: Address of an instruction taking a precise exception this cycle.
+        self.exception = exception
+        #: The "exception" is a memory-ordering mini-exception (misc flush).
+        self.exception_is_ordering = exception_is_ordering
+        #: Addresses entering the ROB this cycle, oldest first.
+        self.dispatched = dispatched
+        #: Address at the dispatch stage (head of the fetch buffer).
+        self.dispatch_pc = dispatch_pc
+        #: The front-end's next fetch PC (what a software sample observes).
+        self.fetch_pc = fetch_pc
+        #: Per-bank head ROB entries (index = bank id), ``None`` if invalid.
+        self.head_banks = head_banks
+        #: Bank holding the oldest in-flight instruction.
+        self.oldest_bank = oldest_bank
+
+    def __repr__(self) -> str:
+        return (f"<cycle {self.cycle}: commits={len(self.committed)} "
+                f"head={self.rob_head and hex(self.rob_head)} "
+                f"empty={self.rob_empty}>")
+
+
+class TraceObserver:
+    """Interface for out-of-band trace consumers (profilers, collectors)."""
+
+    def on_cycle(self, record: CycleRecord) -> None:
+        raise NotImplementedError
+
+    def on_finish(self, final_cycle: int) -> None:
+        """Called once when the simulation ends."""
+
+
+class TraceCollector(TraceObserver):
+    """Stores every record in memory -- for tests and small programs only."""
+
+    def __init__(self):
+        self.records: List[CycleRecord] = []
+        self.final_cycle: Optional[int] = None
+
+    def on_cycle(self, record: CycleRecord) -> None:
+        self.records.append(record)
+
+    def on_finish(self, final_cycle: int) -> None:
+        self.final_cycle = final_cycle
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+def replay(records: Sequence[CycleRecord], *observers: TraceObserver) -> None:
+    """Feed stored *records* through *observers* (testing helper)."""
+    for record in records:
+        for observer in observers:
+            observer.on_cycle(record)
+    final = records[-1].cycle if records else 0
+    for observer in observers:
+        observer.on_finish(final)

@@ -1,0 +1,157 @@
+"""Binary serialization of the commit-stage trace.
+
+The paper's methodology streams a per-cycle trace out of FireSim and
+processes it on the CPU side; re-running a new profiler configuration
+does not require re-simulating.  This module provides the same record/
+replay split for our simulator: :class:`TraceWriter` is a trace observer
+that encodes every :class:`~repro.cpu.trace.CycleRecord` into a compact
+binary stream, and :func:`read_trace` / :func:`replay_trace` reconstruct
+the records and drive any set of observers over them.
+
+Format (little-endian), one record per cycle:
+
+* header byte: bit0 rob_empty, bit1 has_exception, bit2 ordering,
+  bit3 has_dispatch_pc, bit4 has_rob_head;
+* counts byte: low nibble = #committed, high nibble = #dispatched;
+* u8 oldest_bank;
+* u64 fetch_pc;
+* optional u64 rob_head, u64 exception, u64 dispatch_pc;
+* per committed entry: u64 addr, u8 (bank | mispredicted<<6 |
+  flushes<<7);
+* per dispatched entry: u64 addr.
+
+Cycle numbers are implicit (records are dense from cycle 0), which is
+what keeps the format compact.  A small file header records magic,
+version and the ROB bank count.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterable, Iterator, List, Optional, Union
+
+from .trace import CommittedInst, CycleRecord, HeadEntry, TraceObserver
+
+MAGIC = b"TIPTRC01"
+
+_U64 = struct.Struct("<Q")
+_HDR = struct.Struct("<BBB")
+
+_F_EMPTY = 1 << 0
+_F_EXC = 1 << 1
+_F_ORD = 1 << 2
+_F_DISP_PC = 1 << 3
+_F_HEAD = 1 << 4
+
+
+class TraceWriter(TraceObserver):
+    """Observer that serializes the trace to a binary stream."""
+
+    def __init__(self, stream: BinaryIO, banks: int = 4):
+        self.stream = stream
+        self.banks = banks
+        self.records_written = 0
+        stream.write(MAGIC)
+        stream.write(struct.pack("<B", banks))
+
+    def on_cycle(self, record: CycleRecord) -> None:
+        flags = 0
+        if record.rob_empty:
+            flags |= _F_EMPTY
+        if record.exception is not None:
+            flags |= _F_EXC
+        if record.exception_is_ordering:
+            flags |= _F_ORD
+        if record.dispatch_pc is not None:
+            flags |= _F_DISP_PC
+        if record.rob_head is not None:
+            flags |= _F_HEAD
+        counts = (len(record.committed) & 0xF) | \
+            ((len(record.dispatched) & 0xF) << 4)
+        out = self.stream
+        out.write(_HDR.pack(flags, counts, record.oldest_bank))
+        out.write(_U64.pack(record.fetch_pc))
+        if record.rob_head is not None:
+            out.write(_U64.pack(record.rob_head))
+        if record.exception is not None:
+            out.write(_U64.pack(record.exception))
+        if record.dispatch_pc is not None:
+            out.write(_U64.pack(record.dispatch_pc))
+        for commit in record.committed:
+            out.write(_U64.pack(commit.addr))
+            out.write(struct.pack(
+                "<B", (commit.bank & 0x3F)
+                | (0x40 if commit.mispredicted else 0)
+                | (0x80 if commit.flushes else 0)))
+        for addr in record.dispatched:
+            out.write(_U64.pack(addr))
+        self.records_written += 1
+
+    def on_finish(self, final_cycle: int) -> None:
+        self.stream.flush()
+
+
+def read_trace(stream: BinaryIO) -> Iterator[CycleRecord]:
+    """Iterate over the records of a serialized trace."""
+    magic = stream.read(len(MAGIC))
+    if magic != MAGIC:
+        raise ValueError("not a TIP trace stream")
+    banks = struct.unpack("<B", stream.read(1))[0]
+    cycle = 0
+    while True:
+        header = stream.read(_HDR.size)
+        if not header:
+            return
+        if len(header) < _HDR.size:
+            raise ValueError("truncated trace record header")
+        flags, counts, oldest_bank = _HDR.unpack(header)
+        fetch_pc = _U64.unpack(stream.read(8))[0]
+        rob_head = (_U64.unpack(stream.read(8))[0]
+                    if flags & _F_HEAD else None)
+        exception = (_U64.unpack(stream.read(8))[0]
+                     if flags & _F_EXC else None)
+        dispatch_pc = (_U64.unpack(stream.read(8))[0]
+                       if flags & _F_DISP_PC else None)
+        committed = []
+        for _ in range(counts & 0xF):
+            addr = _U64.unpack(stream.read(8))[0]
+            meta = stream.read(1)[0]
+            committed.append(CommittedInst(
+                addr, meta & 0x3F, bool(meta & 0x40), bool(meta & 0x80)))
+        dispatched = tuple(_U64.unpack(stream.read(8))[0]
+                           for _ in range(counts >> 4))
+        head_banks: List[Optional[HeadEntry]] = [None] * banks
+        if rob_head is not None:
+            head_banks[oldest_bank] = HeadEntry(rob_head, False)
+        yield CycleRecord(
+            cycle=cycle, committed=tuple(committed), rob_head=rob_head,
+            rob_empty=bool(flags & _F_EMPTY), exception=exception,
+            exception_is_ordering=bool(flags & _F_ORD),
+            dispatched=dispatched, dispatch_pc=dispatch_pc,
+            fetch_pc=fetch_pc, head_banks=tuple(head_banks),
+            oldest_bank=oldest_bank)
+        cycle += 1
+
+
+def replay_trace(source: Union[BinaryIO, bytes, str],
+                 *observers: TraceObserver) -> int:
+    """Replay a serialized trace through *observers*; returns cycles."""
+    if isinstance(source, (bytes, bytearray)):
+        stream: BinaryIO = io.BytesIO(source)
+    elif isinstance(source, str):
+        stream = open(source, "rb")
+    else:
+        stream = source
+    final_cycle = 0
+    try:
+        for record in read_trace(stream):
+            final_cycle = record.cycle
+            for observer in observers:
+                observer.on_cycle(record)
+    finally:
+        if isinstance(source, str):
+            stream.close()
+    for observer in observers:
+        observer.on_finish(final_cycle)
+    return final_cycle + 1

@@ -1,0 +1,72 @@
+"""Dynamic instruction (micro-op) state.
+
+A :class:`MicroOp` is one in-flight instance of a static instruction.  The
+core allocates one per fetched instruction and threads it through the
+fetch buffer, ROB, issue queues and LSU.  Plain attribute access on a
+``__slots__`` class keeps the hot simulation loop fast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa.instruction import Instruction
+
+_NOT_DONE = 1 << 60
+
+
+class MicroOp:
+    """One dynamic instruction."""
+
+    __slots__ = (
+        "inst", "seq", "fetch_cycle", "visible_cycle", "dispatch_cycle",
+        "issue_cycle", "done_cycle", "commit_cycle", "bank",
+        "executed", "issued", "result", "eff_addr", "store_value",
+        "predicted_taken", "predicted_target", "actual_taken",
+        "actual_target", "mispredicted", "fault_vpn", "order_violation",
+        "squashed", "src_uops", "prediction",
+    )
+
+    def __init__(self, inst: Instruction, seq: int, fetch_cycle: int,
+                 visible_cycle: int):
+        self.inst = inst
+        self.seq = seq
+        self.fetch_cycle = fetch_cycle
+        #: Cycle at which the decoded uop becomes visible to dispatch.
+        self.visible_cycle = visible_cycle
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.done_cycle = _NOT_DONE
+        self.commit_cycle = -1
+        self.bank = -1
+        self.executed = False
+        self.issued = False
+        self.result: Optional[float] = None
+        self.eff_addr: Optional[int] = None
+        self.store_value: Optional[float] = None
+        self.predicted_taken = False
+        self.predicted_target: Optional[int] = None
+        self.actual_taken = False
+        self.actual_target: Optional[int] = None
+        self.mispredicted = False
+        #: Set when address translation faulted (page fault VPN).
+        self.fault_vpn: Optional[int] = None
+        #: Load executed before an older, conflicting store (mini-exception).
+        self.order_violation = False
+        self.squashed = False
+        #: Per-source producer uops (``None`` = value from the register file).
+        self.src_uops: tuple = ()
+        #: The TAGE prediction object (for training at commit).
+        self.prediction = None
+
+    @property
+    def addr(self) -> int:
+        return self.inst.addr
+
+    def done_by(self, cycle: int) -> bool:
+        """Has this uop finished execution by *cycle* (inclusive)?"""
+        return self.executed and self.done_cycle <= cycle
+
+    def __repr__(self) -> str:
+        return (f"<uop #{self.seq} {self.inst.op.value}@{self.inst.addr:#x} "
+                f"{'done' if self.executed else 'pending'}>")

@@ -1,0 +1,153 @@
+"""Experiment driver: one simulation, many out-of-band profilers.
+
+Exactly like the paper's methodology, a single simulation run drives the
+Oracle plus any number of practical profiler configurations.  All
+profilers constructed with equal sampling parameters fire on the *exact
+same cycles*, so error differences between them are purely systematic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..analysis.cyclestacks import CycleStack, cycle_stack, per_symbol_stacks
+from ..analysis.error import profile_error
+from ..analysis.profiles import build_profile, normalize, oracle_profile
+from ..analysis.symbols import Granularity, Symbolizer
+from ..core.baselines import (DispatchProfiler, LciProfiler, NciIlpProfiler,
+                              NciProfiler, SoftwareProfiler)
+from ..core.oracle import OracleProfiler, OracleReport
+from ..core.profiler import SamplingProfiler
+from ..core.sampling import SampleSchedule
+from ..core.tip import TipIlpProfiler, TipProfiler
+from ..cpu.config import CoreConfig
+from ..cpu.core import CoreStats
+from ..cpu.machine import Machine
+from ..isa.program import Program
+
+#: Policy name -> constructor(schedule, program).
+POLICIES = {
+    "Software": lambda schedule, program: SoftwareProfiler(schedule),
+    "Dispatch": lambda schedule, program: DispatchProfiler(schedule),
+    "LCI": lambda schedule, program: LciProfiler(schedule),
+    "NCI": lambda schedule, program: NciProfiler(schedule),
+    "NCI+ILP": lambda schedule, program: NciIlpProfiler(schedule),
+    "TIP-ILP": TipIlpProfiler,
+    "TIP": TipProfiler,
+}
+
+#: The profiler line-up of the paper's Section 5 comparison.
+ALL_POLICIES = ("Software", "Dispatch", "LCI", "NCI", "TIP-ILP", "TIP")
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """One profiler configuration attached to an experiment."""
+
+    policy: str
+    period: int
+    mode: str = "periodic"
+    seed: int = 0
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.label or self.policy
+
+    def build(self, program: Program) -> SamplingProfiler:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown profiler policy {self.policy!r}")
+        schedule = SampleSchedule(self.period, self.mode, self.seed)
+        return POLICIES[self.policy](schedule, program)
+
+    def schedule_clone(self) -> SampleSchedule:
+        return SampleSchedule(self.period, self.mode, self.seed)
+
+
+class ExperimentResult:
+    """Profilers, Oracle report and statistics of one run."""
+
+    def __init__(self, program: Program, oracle: OracleReport,
+                 profilers: Dict[str, SamplingProfiler], stats: CoreStats):
+        self.program = program
+        self.oracle = oracle
+        self.profilers = profilers
+        self.stats = stats
+        self.symbolizer = Symbolizer(program)
+
+    # -- errors -------------------------------------------------------------------
+
+    def error(self, name: str,
+              granularity: Granularity = Granularity.INSTRUCTION) -> float:
+        profiler = self.profilers[name]
+        return profile_error(profiler, self.oracle, self.symbolizer,
+                             granularity)
+
+    def errors(self, granularity: Granularity = Granularity.INSTRUCTION
+               ) -> Dict[str, float]:
+        return {name: self.error(name, granularity)
+                for name in self.profilers}
+
+    # -- profiles ------------------------------------------------------------------
+
+    def profile(self, name: str,
+                granularity: Granularity = Granularity.INSTRUCTION,
+                normalized: bool = True) -> Dict[Hashable, float]:
+        profiler = self.profilers[name]
+        profile = build_profile(profiler.samples, self.symbolizer,
+                                granularity)
+        return normalize(profile) if normalized else profile
+
+    def oracle_profile(self,
+                       granularity: Granularity = Granularity.INSTRUCTION,
+                       normalized: bool = True) -> Dict[Hashable, float]:
+        profile = oracle_profile(self.oracle, self.symbolizer, granularity)
+        return normalize(profile) if normalized else profile
+
+    # -- cycle stacks ---------------------------------------------------------------
+
+    def cycle_stack(self) -> CycleStack:
+        return cycle_stack(self.oracle)
+
+    def function_stacks(self) -> Dict[Hashable, CycleStack]:
+        return per_symbol_stacks(self.oracle, self.symbolizer,
+                                 Granularity.FUNCTION)
+
+
+def run_experiment(program: Program,
+                   profilers: Sequence[ProfilerConfig],
+                   config: Optional[CoreConfig] = None,
+                   premapped_data: Optional[List[Tuple[int, int]]] = None,
+                   max_cycles: int = 10_000_000) -> ExperimentResult:
+    """Simulate *program* once with all *profilers* attached out-of-band."""
+    machine = Machine(program, config, premapped_data)
+    image = machine.image
+
+    # Oracle watches the union of all distinct sampling schedules so the
+    # error metric can compare every sample against golden attribution.
+    distinct = {(p.period, p.mode, p.seed): p for p in profilers}
+    oracle = OracleProfiler(
+        image, watch_schedules=[p.schedule_clone()
+                                for p in distinct.values()])
+    machine.attach(oracle)
+
+    built: Dict[str, SamplingProfiler] = {}
+    for profiler_config in profilers:
+        if profiler_config.name in built:
+            raise ValueError(
+                f"duplicate profiler label {profiler_config.name!r}")
+        profiler = profiler_config.build(image)
+        built[profiler_config.name] = profiler
+        machine.attach(profiler)
+
+    stats = machine.run(max_cycles)
+    return ExperimentResult(image, oracle.report, built, stats)
+
+
+def default_profilers(period: int, mode: str = "periodic", seed: int = 0,
+                      policies: Sequence[str] = ALL_POLICIES
+                      ) -> List[ProfilerConfig]:
+    """The standard line-up, all sampling on the same cycles."""
+    return [ProfilerConfig(policy, period, mode, seed)
+            for policy in policies]

@@ -1,0 +1,21 @@
+"""A compact RISC-V-flavoured ISA: opcodes, programs, assembler, semantics."""
+
+from .assembler import Assembler, AssemblerError, assemble
+from .disasm import disassemble, format_instruction
+from .instruction import INSTRUCTION_BYTES, Instruction, Register
+from .interpreter import Interpreter, InterpreterError, run_reference
+from .opcodes import Kind, Op, OpcodeInfo, Unit, info_for
+from .program import (FunctionSymbol, KERNEL_TEXT_BASE, Program,
+                      ProgramBuilder, TEXT_BASE)
+from .semantics import ExecResult, evaluate
+
+__all__ = [
+    "Assembler", "AssemblerError", "assemble",
+    "disassemble", "format_instruction",
+    "INSTRUCTION_BYTES", "Instruction", "Register",
+    "Interpreter", "InterpreterError", "run_reference",
+    "Kind", "Op", "OpcodeInfo", "Unit", "info_for",
+    "FunctionSymbol", "KERNEL_TEXT_BASE", "Program", "ProgramBuilder",
+    "TEXT_BASE",
+    "ExecResult", "evaluate",
+]

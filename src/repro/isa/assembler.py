@@ -1,0 +1,214 @@
+"""A small two-pass assembler for the simulator's ISA.
+
+The assembly dialect mirrors RISC-V conventions::
+
+    .entry main
+    .func  main
+    main:
+        addi  x1, x0, 16
+    loop:
+        lw    x2, 0(x1)
+        add   x3, x3, x2
+        addi  x1, x1, -4
+        bne   x1, x0, loop
+        halt
+    .data  0x2000 3.5
+
+Directives: ``.func NAME`` opens a function symbol, ``.entry LABEL`` sets
+the entry point, ``.data ADDR VALUE`` initialises a data word.  Labels end
+with ``:``.  Comments start with ``#`` or ``;``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .instruction import Register
+from .opcodes import Kind, MNEMONICS, Op, info_for
+from .program import Program, ProgramBuilder, TEXT_BASE
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+        self.line_no = line_no
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",") if part.strip()]
+
+
+def _parse_mem_operand(text: str) -> Tuple[int, int]:
+    """Parse ``imm(reg)`` and return ``(imm, reg)``."""
+    open_paren = text.find("(")
+    if open_paren < 0 or not text.endswith(")"):
+        raise ValueError(f"expected imm(reg), got {text!r}")
+    imm_text = text[:open_paren].strip() or "0"
+    reg_text = text[open_paren + 1:-1].strip()
+    return _parse_int(imm_text), Register.parse(reg_text)
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self, base: int = TEXT_BASE, name: str = "program"):
+        self.base = base
+        self.name = name
+
+    def assemble(self, source: str) -> Program:
+        builder = ProgramBuilder(self.base, self.name)
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            try:
+                self._assemble_line(builder, line)
+            except AssemblerError:
+                raise
+            except ValueError as exc:
+                raise AssemblerError(str(exc), line_no) from exc
+        return builder.build()
+
+    # -- per-line handling ----------------------------------------------------
+
+    def _assemble_line(self, builder: ProgramBuilder, line: str) -> None:
+        if line.startswith("."):
+            self._directive(builder, line)
+            return
+        while ":" in line:
+            label, _, line = line.partition(":")
+            builder.label(label.strip())
+            line = line.strip()
+        if line:
+            self._instruction(builder, line)
+
+    def _directive(self, builder: ProgramBuilder, line: str) -> None:
+        parts = line.split()
+        directive, args = parts[0], parts[1:]
+        if directive == ".func":
+            if len(args) != 1:
+                raise ValueError(".func takes exactly one name")
+            builder.func(args[0])
+        elif directive == ".entry":
+            if len(args) != 1:
+                raise ValueError(".entry takes exactly one label")
+            builder.entry(args[0])
+        elif directive == ".data":
+            if len(args) != 2:
+                raise ValueError(".data takes ADDR VALUE")
+            builder.word(_parse_int(args[0]), float(args[1]))
+        else:
+            raise ValueError(f"unknown directive {directive!r}")
+
+    def _instruction(self, builder: ProgramBuilder, line: str) -> None:
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.strip().lower()
+        if mnemonic not in MNEMONICS:
+            raise ValueError(f"unknown mnemonic {mnemonic!r}")
+        op = MNEMONICS[mnemonic]
+        operands = _split_operands(rest)
+        kind = info_for(op).kind
+        if kind is Kind.LOAD and op is not Op.AMOADD:
+            self._load(builder, op, operands)
+        elif kind is Kind.STORE:
+            self._store(builder, op, operands)
+        elif kind is Kind.BRANCH:
+            self._branch(builder, op, operands)
+        elif kind is Kind.CALL:
+            self._jal(builder, op, operands)
+        elif kind is Kind.RETURN:
+            self._jalr(builder, op, operands)
+        elif kind is Kind.ATOMIC:
+            self._amo(builder, op, operands)
+        else:
+            self._generic(builder, op, operands)
+
+    def _load(self, builder, op, operands) -> None:
+        if len(operands) != 2:
+            raise ValueError(f"{op.value} takes rd, imm(rs1)")
+        rd = Register.parse(operands[0])
+        imm, base = _parse_mem_operand(operands[1])
+        builder.emit(op, rd, (base,), imm)
+
+    def _store(self, builder, op, operands) -> None:
+        if len(operands) != 2:
+            raise ValueError(f"{op.value} takes rs2, imm(rs1)")
+        data = Register.parse(operands[0])
+        imm, base = _parse_mem_operand(operands[1])
+        builder.emit(op, None, (base, data), imm)
+
+    def _branch(self, builder, op, operands) -> None:
+        if len(operands) != 3:
+            raise ValueError(f"{op.value} takes rs1, rs2, label")
+        rs1 = Register.parse(operands[0])
+        rs2 = Register.parse(operands[1])
+        builder.emit(op, None, (rs1, rs2), target=operands[2])
+
+    def _jal(self, builder, op, operands) -> None:
+        if len(operands) != 2:
+            raise ValueError("jal takes rd, label")
+        rd = Register.parse(operands[0])
+        builder.emit(op, rd, (), target=operands[1])
+
+    def _jalr(self, builder, op, operands) -> None:
+        if len(operands) != 3:
+            raise ValueError("jalr takes rd, rs1, imm")
+        rd = Register.parse(operands[0])
+        rs1 = Register.parse(operands[1])
+        builder.emit(op, rd, (rs1,), _parse_int(operands[2]))
+
+    def _amo(self, builder, op, operands) -> None:
+        if len(operands) != 3:
+            raise ValueError("amoadd takes rd, rs2, (rs1)")
+        rd = Register.parse(operands[0])
+        data = Register.parse(operands[1])
+        imm, base = _parse_mem_operand(operands[2])
+        builder.emit(op, rd, (base, data), imm)
+
+    def _generic(self, builder, op, operands) -> None:
+        info = info_for(op)
+        writes = info.writes_int or info.writes_fp
+        expected = info.num_sources + (1 if writes else 0)
+        has_imm = op in _IMMEDIATE_OPS
+        if has_imm:
+            expected += 1
+        if len(operands) != expected:
+            raise ValueError(
+                f"{op.value} takes {expected} operands, got {len(operands)}")
+        pos = 0
+        rd = None
+        if writes:
+            rd = Register.parse(operands[pos])
+            pos += 1
+        sources = tuple(Register.parse(operands[pos + i])
+                        for i in range(info.num_sources))
+        pos += info.num_sources
+        imm = _parse_int(operands[pos]) if has_imm else 0
+        builder.emit(op, rd, sources, imm)
+
+
+#: Opcodes whose final operand is an immediate.
+_IMMEDIATE_OPS = frozenset({
+    Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI, Op.SLTI, Op.LUI,
+})
+
+
+def assemble(source: str, base: int = TEXT_BASE,
+             name: str = "program") -> Program:
+    """Assemble *source* text into a :class:`Program`."""
+    return Assembler(base, name).assemble(source)

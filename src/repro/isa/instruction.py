@@ -1,0 +1,165 @@
+"""Static instruction model.
+
+A :class:`Instruction` is one *static* instruction at a fixed address in a
+program.  The out-of-order core creates lightweight *dynamic* instances
+(micro-ops) that reference back to the static instruction; profilers always
+attribute time to static instruction addresses, exactly as a hardware
+profiler reports PC values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .opcodes import Kind, Op, OpcodeInfo, Unit, info_for
+
+#: Byte size of every instruction (RV64 without the C extension).
+INSTRUCTION_BYTES = 4
+
+
+class Register:
+    """Architectural register name helpers.
+
+    Registers are encoded as small integers: ``0..31`` are the integer
+    registers ``x0..x31`` (with ``x0`` hard-wired to zero) and ``32..63``
+    are the floating-point registers ``f0..f31``.
+    """
+
+    NUM_INT = 32
+    NUM_FP = 32
+    TOTAL = NUM_INT + NUM_FP
+
+    @staticmethod
+    def x(index: int) -> int:
+        if not 0 <= index < Register.NUM_INT:
+            raise ValueError(f"integer register index out of range: {index}")
+        return index
+
+    @staticmethod
+    def f(index: int) -> int:
+        if not 0 <= index < Register.NUM_FP:
+            raise ValueError(f"fp register index out of range: {index}")
+        return Register.NUM_INT + index
+
+    @staticmethod
+    def is_fp(reg: int) -> bool:
+        return reg >= Register.NUM_INT
+
+    @staticmethod
+    def name(reg: int) -> str:
+        if reg < Register.NUM_INT:
+            return f"x{reg}"
+        return f"f{reg - Register.NUM_INT}"
+
+    @staticmethod
+    def parse(text: str) -> int:
+        text = text.strip().lower()
+        if len(text) < 2 or text[0] not in "xf":
+            raise ValueError(f"bad register name: {text!r}")
+        index = int(text[1:])
+        return Register.x(index) if text[0] == "x" else Register.f(index)
+
+
+class Instruction:
+    """One static instruction.
+
+    Parameters
+    ----------
+    op:
+        The opcode.
+    rd:
+        Destination register (encoded), or ``None``.
+    sources:
+        Tuple of encoded source registers.
+    imm:
+        Immediate value; for loads/stores this is the address offset, for
+        branches/jumps the *resolved* target address (the assembler
+        resolves labels before constructing instructions).
+    addr:
+        The instruction's address in the text segment.
+    """
+
+    __slots__ = ("op", "rd", "sources", "imm", "addr", "_info")
+
+    def __init__(self, op: Op, rd: Optional[int] = None,
+                 sources: Tuple[int, ...] = (), imm: int = 0,
+                 addr: int = 0):
+        self.op = op
+        self.rd = rd
+        self.sources = sources
+        self.imm = imm
+        self.addr = addr
+        self._info = info_for(op)
+
+    # -- metadata accessors -------------------------------------------------
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return self._info
+
+    @property
+    def unit(self) -> Unit:
+        return self._info.unit
+
+    @property
+    def kind(self) -> Kind:
+        return self._info.kind
+
+    @property
+    def latency(self) -> int:
+        return self._info.latency
+
+    @property
+    def is_load(self) -> bool:
+        return self._info.kind is Kind.LOAD or self._info.kind is Kind.ATOMIC
+
+    @property
+    def is_store(self) -> bool:
+        return self._info.kind is Kind.STORE or self._info.kind is Kind.ATOMIC
+
+    @property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        """Conditional branch."""
+        return self._info.kind is Kind.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        """Any instruction that can change control flow."""
+        return self._info.kind in (Kind.BRANCH, Kind.JUMP, Kind.CALL,
+                                   Kind.RETURN, Kind.SRET)
+
+    @property
+    def is_call(self) -> bool:
+        return self._info.kind is Kind.CALL
+
+    @property
+    def is_return(self) -> bool:
+        return self._info.kind is Kind.RETURN
+
+    @property
+    def is_serializing(self) -> bool:
+        return self._info.serializing
+
+    @property
+    def flushes_on_commit(self) -> bool:
+        return self._info.flushes_on_commit
+
+    @property
+    def is_halt(self) -> bool:
+        return self._info.kind is Kind.HALT
+
+    @property
+    def next_addr(self) -> int:
+        return self.addr + INSTRUCTION_BYTES
+
+    # -- misc ----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        ops = ", ".join(Register.name(s) for s in self.sources)
+        rd = Register.name(self.rd) if self.rd is not None else "-"
+        return (f"<{self.addr:#x}: {self.op.value} rd={rd} src=({ops}) "
+                f"imm={self.imm}>")

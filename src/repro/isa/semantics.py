@@ -1,0 +1,153 @@
+"""Functional semantics of the ISA.
+
+The out-of-order core is *execute-at-execute*: when a dynamic instruction
+reaches its functional unit, :func:`evaluate` computes its architectural
+effect (result value, branch outcome, effective address) from the operand
+values.  Keeping semantics separate from timing keeps both sides simple
+and independently testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .instruction import Instruction
+from .opcodes import Op
+
+_MASK64 = (1 << 64) - 1
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+@dataclass
+class ExecResult:
+    """Outcome of functionally executing one instruction."""
+
+    #: Result value to write to the destination register (if any).
+    value: Optional[float] = None
+    #: For control-flow instructions: was the branch taken?
+    taken: bool = False
+    #: For taken control flow: the target address.
+    target: Optional[int] = None
+    #: For memory instructions: the effective address.
+    eff_addr: Optional[int] = None
+    #: For stores/atomics: the value to write to memory.
+    store_value: Optional[float] = None
+
+
+_INT_ALU: dict = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.AND: lambda a, b: int(a) & int(b),
+    Op.OR: lambda a, b: int(a) | int(b),
+    Op.XOR: lambda a, b: int(a) ^ int(b),
+    Op.SLL: lambda a, b: int(a) << (int(b) & 63),
+    Op.SRL: lambda a, b: (int(a) & _MASK64) >> (int(b) & 63),
+    Op.SLT: lambda a, b: int(a < b),
+    Op.MUL: lambda a, b: int(a) * int(b),
+}
+
+_INT_IMM: dict = {
+    Op.ADDI: lambda a, imm: a + imm,
+    Op.ANDI: lambda a, imm: int(a) & imm,
+    Op.ORI: lambda a, imm: int(a) | imm,
+    Op.XORI: lambda a, imm: int(a) ^ imm,
+    Op.SLLI: lambda a, imm: int(a) << (imm & 63),
+    Op.SRLI: lambda a, imm: (int(a) & _MASK64) >> (imm & 63),
+    Op.SLTI: lambda a, imm: int(a < imm),
+}
+
+_FP_ALU: dict = {
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FMIN: lambda a, b: min(a, b),
+    Op.FMAX: lambda a, b: max(a, b),
+    Op.FEQ: lambda a, b: int(a == b),
+    Op.FLT: lambda a, b: int(a < b),
+    Op.FLE: lambda a, b: int(a <= b),
+}
+
+_BRANCH_COND: dict = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+}
+
+
+def evaluate(inst: Instruction, operands: tuple,
+             fflags: int = 0) -> ExecResult:
+    """Functionally execute *inst* given its source *operands*.
+
+    *operands* are the values of ``inst.sources`` in order.  *fflags* is
+    the current floating-point status CSR value (read by ``frflags``).
+    """
+    op = inst.op
+
+    if op in _INT_ALU:
+        return ExecResult(value=_to_signed(int(_INT_ALU[op](*operands))))
+    if op in _INT_IMM:
+        return ExecResult(value=_to_signed(int(_INT_IMM[op](operands[0],
+                                                            inst.imm))))
+    if op is Op.LUI:
+        return ExecResult(value=_to_signed(inst.imm << 12))
+    if op in (Op.DIV, Op.REM):
+        a, b = int(operands[0]), int(operands[1])
+        if b == 0:
+            return ExecResult(value=-1 if op is Op.DIV else a)
+        quotient = int(a / b)  # trunc toward zero, as RISC-V requires
+        if op is Op.DIV:
+            return ExecResult(value=quotient)
+        return ExecResult(value=a - b * quotient)
+
+    if op in _FP_ALU:
+        return ExecResult(value=_FP_ALU[op](*operands))
+    if op is Op.FMADD:
+        return ExecResult(value=operands[0] * operands[1] + operands[2])
+    if op is Op.FDIV:
+        divisor = operands[1]
+        if divisor == 0:
+            return ExecResult(value=math.inf if operands[0] >= 0
+                              else -math.inf)
+        return ExecResult(value=operands[0] / divisor)
+    if op is Op.FSQRT:
+        return ExecResult(value=math.sqrt(max(operands[0], 0.0)))
+    if op is Op.FCVT_W_D:
+        return ExecResult(value=int(operands[0]))
+    if op is Op.FCVT_D_W:
+        return ExecResult(value=float(operands[0]))
+    if op is Op.FMV:
+        return ExecResult(value=operands[0])
+
+    if op in (Op.LW, Op.LD, Op.FLD):
+        return ExecResult(eff_addr=int(operands[0]) + inst.imm)
+    if op in (Op.SW, Op.SD, Op.FSD):
+        return ExecResult(eff_addr=int(operands[0]) + inst.imm,
+                          store_value=operands[1])
+    if op is Op.AMOADD:
+        return ExecResult(eff_addr=int(operands[0]) + inst.imm,
+                          store_value=operands[1])
+
+    if op in _BRANCH_COND:
+        taken = bool(_BRANCH_COND[op](*operands))
+        return ExecResult(taken=taken,
+                          target=inst.imm if taken else inst.next_addr)
+    if op is Op.JAL:
+        return ExecResult(value=inst.next_addr, taken=True, target=inst.imm)
+    if op is Op.JALR:
+        return ExecResult(value=inst.next_addr, taken=True,
+                          target=(int(operands[0]) + inst.imm) & ~1)
+
+    if op is Op.FRFLAGS:
+        return ExecResult(value=fflags)
+    if op in (Op.FSFLAGS, Op.CSRRW):
+        return ExecResult(value=fflags)
+
+    # NOP, HALT, FENCE, SRET, ECALL: no architectural result here.
+    return ExecResult()

@@ -1,0 +1,13 @@
+"""Miniature OS model: page tables, fault handler, exception return."""
+
+from .handler import (KERNEL_DATA_BASE, KERNEL_DATA_SIZE,
+                      build_handler_program)
+from .kernel import Kernel
+from .perf_handler import (METADATA_WORDS, PERF_BUFFER_BASE,
+                           PERF_BUFFER_BYTES, PERF_HANDLER_BASE,
+                           PERF_SAVE_BASE, build_perf_handler)
+
+__all__ = ["KERNEL_DATA_BASE", "KERNEL_DATA_SIZE", "build_handler_program",
+           "Kernel", "METADATA_WORDS", "PERF_BUFFER_BASE",
+           "PERF_BUFFER_BYTES", "PERF_HANDLER_BASE", "PERF_SAVE_BASE",
+           "build_perf_handler"]

@@ -1,0 +1,57 @@
+"""The page-fault handler program.
+
+A miniature OS handler: it saves the registers it clobbers to a kernel
+save area, walks a few page-table entries in kernel memory (so handler
+time scales realistically and touches the caches), updates the PTE, then
+restores registers and returns with ``sret``.  The handler is ordinary
+code in the merged program image, so -- exactly as the paper's Oracle
+specifies -- handler instructions are profiled like application code once
+they dispatch.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import assemble
+from ..isa.program import KERNEL_TEXT_BASE, Program
+
+#: Kernel data region (save area + fake page-table pages).
+KERNEL_DATA_BASE = 0x9_0000
+KERNEL_DATA_SIZE = 0x4000
+
+_HANDLER_SOURCE = f"""
+# Page-fault handler. Clobbers x28-x31 only, after saving them.
+.entry __pf_handler
+.func __pf_handler
+__pf_handler:
+    sd   x28, {KERNEL_DATA_BASE:#x}(x0)
+    sd   x29, {KERNEL_DATA_BASE + 8:#x}(x0)
+    sd   x30, {KERNEL_DATA_BASE + 16:#x}(x0)
+    sd   x31, {KERNEL_DATA_BASE + 24:#x}(x0)
+    # Walk eight fake page-table entries.
+    addi x28, x0, {KERNEL_DATA_BASE + 0x100}
+    addi x29, x0, 8
+    addi x31, x0, 0
+__pf_walk:
+    ld   x30, 0(x28)
+    add  x31, x31, x30
+    addi x28, x28, 8
+    addi x29, x29, -1
+    bne  x29, x0, __pf_walk
+    # Install the "PTE" and publish the update.
+    sd   x31, {KERNEL_DATA_BASE + 0x200:#x}(x0)
+    fence
+    # Restore and return to the faulting instruction.
+    ld   x28, {KERNEL_DATA_BASE:#x}(x0)
+    ld   x29, {KERNEL_DATA_BASE + 8:#x}(x0)
+    ld   x30, {KERNEL_DATA_BASE + 16:#x}(x0)
+    ld   x31, {KERNEL_DATA_BASE + 24:#x}(x0)
+    sret
+"""
+
+
+def build_handler_program(base: int = KERNEL_TEXT_BASE) -> Program:
+    """Assemble the page-fault handler at *base*."""
+    program = assemble(_HANDLER_SOURCE, base=base, name="kernel")
+    for offset in range(0, 0x140, 8):
+        program.data.setdefault(KERNEL_DATA_BASE + offset, 1)
+    return program

@@ -1,0 +1,65 @@
+"""The perf sample-collection interrupt handler (Section 3.2).
+
+When TIP signals a fresh sample, perf's interrupt handler copies the
+profiler's CSRs plus kernel metadata into a memory buffer.  This module
+generates that handler as a real program: per sample it stores
+``metadata_words + payload_words`` 64-bit words to the perf buffer and
+advances the buffer pointer, so the *runtime cost of profiling itself*
+can be measured on the simulated core (the paper measures 1.0% for
+PEBS-sized samples and 1.1% for TIP-sized samples on an i7-4770).
+
+The handler clobbers only x26/x27 (saved and restored through the
+kernel save area) and returns with ``sret``.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+#: Where the generated handler lives (above the page-fault handler).
+PERF_HANDLER_BASE = 0xA_0000
+#: Scratch area for saved registers.
+PERF_SAVE_BASE = 0xB_0000
+#: The perf sample ring buffer.
+PERF_BUFFER_BASE = 0xC_0000
+PERF_BUFFER_BYTES = 0x1_0000
+
+#: perf metadata per sample: 40 B = five 64-bit words (Section 3.2).
+METADATA_WORDS = 5
+
+
+def build_perf_handler(payload_words: int,
+                       base: int = PERF_HANDLER_BASE) -> Program:
+    """Build a sample-collection handler storing *payload_words* CSRs.
+
+    TIP's payload is 6 words (4 addresses + cycles + flags: 48 B);
+    non-ILP profilers store 2 words (address + cycles: 16 B).
+    """
+    if payload_words < 1:
+        raise ValueError("payload_words must be >= 1")
+    total_words = METADATA_WORDS + payload_words
+    stores = "\n".join(
+        f"    sd   x27, {PERF_BUFFER_BASE + 8 * i}(x26)"
+        for i in range(total_words))
+    source = f"""
+.entry __perf_handler
+.func __perf_handler
+__perf_handler:
+    sd   x26, {PERF_SAVE_BASE:#x}(x0)
+    sd   x27, {PERF_SAVE_BASE + 8:#x}(x0)
+    # Load the buffer cursor (byte offset) and "read" the sample.
+    ld   x26, {PERF_SAVE_BASE + 16:#x}(x0)
+    addi x27, x26, 1
+{stores}
+    # Advance and wrap the cursor offset.
+    addi x26, x26, {8 * total_words}
+    andi x26, x26, {PERF_BUFFER_BYTES - 1}
+    sd   x26, {PERF_SAVE_BASE + 16:#x}(x0)
+    ld   x26, {PERF_SAVE_BASE:#x}(x0)
+    ld   x27, {PERF_SAVE_BASE + 8:#x}(x0)
+    sret
+"""
+    program = assemble(source, base=base, name="perf-handler")
+    program.data[PERF_SAVE_BASE + 16] = 0
+    return program

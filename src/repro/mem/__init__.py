@@ -1,0 +1,13 @@
+"""Memory-system substrate: caches, DRAM, TLBs, page tables."""
+
+from .cache import AccessResult, Cache, CacheStats, MainMemory, MemoryLevel
+from .hierarchy import (MemoryAccessOutcome, MemoryConfig, MemoryHierarchy)
+from .tlb import (PAGE_SIZE, PAGE_SHIFT, PageTable, PageTableWalker, Tlb,
+                  TlbHierarchy, TranslationResult, vpn_of)
+
+__all__ = [
+    "AccessResult", "Cache", "CacheStats", "MainMemory", "MemoryLevel",
+    "MemoryAccessOutcome", "MemoryConfig", "MemoryHierarchy",
+    "PAGE_SIZE", "PAGE_SHIFT", "PageTable", "PageTableWalker", "Tlb",
+    "TlbHierarchy", "TranslationResult", "vpn_of",
+]

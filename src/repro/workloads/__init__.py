@@ -1,0 +1,19 @@
+"""Synthetic workloads: kernels, the 27-benchmark suite, Imagick."""
+
+from .generator import (Kernel, Workload, build_workload, k_branchy,
+                        k_calls, k_csr_flush, k_dep_chain, k_fault,
+                        k_fp_div, k_fp_ilp, k_icache, k_int_ilp,
+                        k_pointer_chase, k_recursive, k_serialize,
+                        k_stream_load, k_stream_store)
+from .imagick import build_imagick
+from .suite import (BENCHMARKS, PAPER_CLASSES, build, build_suite,
+                    workload_names)
+
+__all__ = [
+    "Kernel", "Workload", "build_workload", "k_branchy", "k_calls",
+    "k_csr_flush", "k_dep_chain", "k_fault", "k_fp_div", "k_fp_ilp",
+    "k_icache", "k_int_ilp", "k_pointer_chase", "k_recursive",
+    "k_serialize",
+    "k_stream_load", "k_stream_store", "build_imagick", "BENCHMARKS",
+    "PAPER_CLASSES", "build", "build_suite", "workload_names",
+]

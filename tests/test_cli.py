@@ -1,0 +1,83 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["overhead"])
+    assert args.command == "overhead"
+
+
+def test_overhead_command(capsys):
+    assert main(["overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "57 B" in out
+    assert "352 KB/s" in out
+
+
+def test_profile_command(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+.func main
+    addi x1, x0, 0
+    addi x2, x0, 300
+loop:
+    add  x3, x3, x1
+    addi x1, x1, 1
+    bne  x1, x2, loop
+    halt
+""")
+    assert main(["profile", str(source), "--period", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "instruction profile" in out
+    assert "TIP" in out
+    assert "Oracle" in out
+
+
+def test_stacks_command(capsys):
+    assert main(["stacks", "lbm", "--scale", "0.05",
+                 "--period", "29"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle stacks" in out
+    assert "lbm" in out
+
+
+def test_suite_command_subset(capsys):
+    assert main(["suite", "exchange2", "--scale", "0.05",
+                 "--period", "29"]) == 0
+    out = capsys.readouterr().out
+    assert "instruction-level error" in out
+    assert "exchange2" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_record_and_replay_commands(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+.func main
+    addi x1, x0, 0
+    addi x2, x0, 400
+loop:
+    add  x3, x3, x1
+    addi x1, x1, 1
+    bne  x1, x2, loop
+    halt
+""")
+    trace = tmp_path / "run.tiptrace"
+    assert main(["record", str(source), "-o", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out
+    assert trace.stat().st_size > 100
+
+    assert main(["replay", str(trace), str(source),
+                 "--policy", "TIP", "--period", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "replayed" in out
+    assert "error" in out

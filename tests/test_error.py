@@ -1,0 +1,140 @@
+"""Profile error metric tests."""
+
+import pytest
+
+from repro.analysis.error import (error_reduction, overlap, profile_error,
+                                  per_sample_error)
+from repro.analysis.symbols import Granularity, Symbolizer
+from repro.core.oracle import OracleProfiler
+from repro.core.sampling import SampleSchedule
+from repro.core.baselines import LciProfiler, NciProfiler
+from repro.core.tip import TipProfiler
+from repro.cpu.trace import replay
+from tests.test_oracle import BR, I1, I3, I5, LOAD, PROGRAM
+from conftest import make_record
+
+
+def test_overlap_identical():
+    assert overlap({"a": 0.5, "b": 0.5}, {"a": 0.5, "b": 0.5}) == 1.0
+
+
+def test_overlap_disjoint():
+    assert overlap({"a": 1.0}, {"b": 1.0}) == 0.0
+
+
+def test_overlap_partial():
+    assert overlap({"a": 0.7, "b": 0.3}, {"a": 0.4, "c": 0.6}) == \
+        pytest.approx(0.4)
+
+
+def test_overlap_symmetry():
+    a = {"x": 0.2, "y": 0.8}
+    b = {"x": 0.5, "z": 0.5}
+    assert overlap(a, b) == overlap(b, a)
+
+
+def _run_with_oracle(records, profiler_cls, period=1, needs_program=True):
+    schedule = SampleSchedule(period)
+    profiler = (profiler_cls(schedule, PROGRAM) if needs_program
+                else profiler_cls(schedule))
+    oracle = OracleProfiler(PROGRAM,
+                            watch_schedules=[SampleSchedule(period)])
+    replay(records, oracle, profiler)
+    oracle.report.total_cycles = len(records)
+    return profiler, oracle.report
+
+
+STALL_TRACE = (
+    [make_record(0, committed=[(I1, False, False)], rob_head=LOAD)]
+    + [make_record(c, rob_head=LOAD) for c in range(1, 41)]
+    + [make_record(41, committed=[(LOAD, False, False), (I3, False, False)])]
+)
+
+
+def test_tip_error_zero_at_period_one():
+    """Sampling every cycle, TIP reproduces Oracle exactly."""
+    profiler, report = _run_with_oracle(STALL_TRACE, TipProfiler)
+    sym = Symbolizer(PROGRAM)
+    error = profile_error(profiler, report, sym, Granularity.INSTRUCTION)
+    assert error == pytest.approx(0.0, abs=1e-9)
+
+
+def test_lci_error_large_on_stall():
+    profiler, report = _run_with_oracle(STALL_TRACE, LciProfiler,
+                                        needs_program=False)
+    sym = Symbolizer(PROGRAM)
+    error = profile_error(profiler, report, sym, Granularity.INSTRUCTION)
+    # LCI puts the 40 stall cycles on I1: nearly everything is wrong.
+    assert error > 0.9
+
+
+def test_lci_error_zero_at_function_level():
+    profiler, report = _run_with_oracle(STALL_TRACE, LciProfiler,
+                                        needs_program=False)
+    sym = Symbolizer(PROGRAM)
+    error = profile_error(profiler, report, sym, Granularity.FUNCTION)
+    assert error == pytest.approx(0.0, abs=1e-9)  # same function
+
+
+def test_nci_more_accurate_than_lci_on_stall():
+    nci, report = _run_with_oracle(STALL_TRACE, NciProfiler,
+                                   needs_program=False)
+    lci, _ = _run_with_oracle(STALL_TRACE, LciProfiler,
+                              needs_program=False)
+    sym = Symbolizer(PROGRAM)
+    nci_err = profile_error(nci, report, sym, Granularity.INSTRUCTION)
+    lci_err = profile_error(lci, report, sym, Granularity.INSTRUCTION)
+    assert nci_err < lci_err
+
+
+def test_error_bounded():
+    for cls, needs in ((TipProfiler, True), (NciProfiler, False),
+                       (LciProfiler, False)):
+        profiler, report = _run_with_oracle(STALL_TRACE, cls,
+                                            needs_program=needs)
+        sym = Symbolizer(PROGRAM)
+        error = profile_error(profiler, report, sym,
+                              Granularity.INSTRUCTION)
+        assert 0.0 <= error <= 1.0
+
+
+def test_sparser_sampling_increases_unsystematic_error():
+    tip_dense, report_dense = _run_with_oracle(STALL_TRACE, TipProfiler,
+                                               period=1)
+    tip_sparse, report_sparse = _run_with_oracle(STALL_TRACE, TipProfiler,
+                                                 period=17)
+    sym = Symbolizer(PROGRAM)
+    dense = profile_error(tip_dense, report_dense, sym,
+                          Granularity.INSTRUCTION)
+    sparse = profile_error(tip_sparse, report_sparse, sym,
+                           Granularity.INSTRUCTION)
+    assert sparse >= dense
+
+
+def test_per_sample_error_requires_watched_schedule():
+    profiler = TipProfiler(SampleSchedule(5), PROGRAM)
+    oracle = OracleProfiler(PROGRAM)  # no watch schedules
+    replay(STALL_TRACE, oracle, profiler)
+    sym = Symbolizer(PROGRAM)
+    with pytest.raises(ValueError, match="did not watch"):
+        per_sample_error(profiler, oracle.report, sym,
+                         Granularity.INSTRUCTION)
+
+
+def test_per_sample_error_zero_for_tip_dense():
+    profiler, report = _run_with_oracle(STALL_TRACE, TipProfiler)
+    sym = Symbolizer(PROGRAM)
+    error = per_sample_error(profiler, report, sym,
+                             Granularity.INSTRUCTION)
+    assert error == pytest.approx(0.0, abs=1e-9)
+
+
+def test_error_reduction_factors():
+    factors = error_reduction({"TIP": 0.016, "NCI": 0.093}, "TIP")
+    assert factors["NCI"] == pytest.approx(5.8125)
+    assert factors["TIP"] == 1.0
+
+
+def test_error_reduction_zero_reference():
+    factors = error_reduction({"TIP": 0.0, "NCI": 0.1}, "TIP")
+    assert factors["NCI"] == float("inf")

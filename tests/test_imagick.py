@@ -1,0 +1,118 @@
+"""Imagick case-study tests (Section 6)."""
+
+import pytest
+
+from repro.analysis import Granularity
+from repro.core.samples import Category
+from repro.harness import default_profilers, run_workload
+from repro.workloads.imagick import build_imagick
+
+
+@pytest.fixture(scope="module")
+def imagick_runs():
+    orig = build_imagick(optimized=False, pixels=400, morph_iters=500)
+    opt = build_imagick(optimized=True, pixels=400, morph_iters=500)
+    return (run_workload(orig, default_profilers(19)),
+            run_workload(opt, default_profilers(19)))
+
+
+def test_same_layout_both_variants():
+    orig = build_imagick(optimized=False, pixels=10, morph_iters=10)
+    opt = build_imagick(optimized=True, pixels=10, morph_iters=10)
+    assert [i.addr for i in orig.program.instructions] == \
+        [i.addr for i in opt.program.instructions]
+    assert [f.name for f in orig.program.functions] == \
+        [f.name for f in opt.program.functions]
+
+
+def test_optimized_replaces_csr_with_nop():
+    orig = build_imagick(optimized=False, pixels=10, morph_iters=10)
+    opt = build_imagick(optimized=True, pixels=10, morph_iters=10)
+    orig_ops = [i.op.value for i in orig.program.instructions]
+    opt_ops = [i.op.value for i in opt.program.instructions]
+    assert "frflags" in orig_ops and "fsflags" in orig_ops
+    assert "frflags" not in opt_ops and "fsflags" not in opt_ops
+    substituted = sum(1 for a, b in zip(orig_ops, opt_ops)
+                      if a != b and b == "nop")
+    assert substituted == 4  # two per rounding function
+
+
+def test_expected_functions_present():
+    workload = build_imagick(pixels=10, morph_iters=10)
+    names = {f.name for f in workload.program.functions}
+    assert {"main", "MeanShiftImage", "ceil", "floor",
+            "MorphologyApply"} <= names
+
+
+def test_original_flushes_optimized_does_not(imagick_runs):
+    orig, opt = imagick_runs
+    assert orig.stats.csr_flushes > 1000
+    assert opt.stats.csr_flushes == 0
+    orig_flush = orig.cycle_stack().fraction(Category.MISC_FLUSH)
+    opt_flush = opt.cycle_stack().fraction(Category.MISC_FLUSH)
+    assert orig_flush > 0.1
+    assert opt_flush < 0.01
+
+
+def test_speedup_close_to_paper(imagick_runs):
+    """The paper reports 1.93x; we require the same ballpark."""
+    orig, opt = imagick_runs
+    speedup = orig.stats.cycles / opt.stats.cycles
+    assert 1.5 <= speedup <= 2.5
+
+
+def test_speedup_exceeds_amdahl_estimate(imagick_runs):
+    """Section 6: the speedup is larger than the flush time alone
+    explains, because removing flushes restores latency hiding."""
+    orig, opt = imagick_runs
+    flush_fraction = orig.cycle_stack().fraction(Category.MISC_FLUSH)
+    amdahl = 1.0 / (1.0 - flush_fraction)
+    speedup = orig.stats.cycles / opt.stats.cycles
+    assert speedup > amdahl
+
+
+def test_ipc_improves(imagick_runs):
+    orig, opt = imagick_runs
+    assert opt.stats.ipc > orig.stats.ipc * 1.3
+
+
+def test_tip_attributes_ceil_time_to_csr_instructions(imagick_runs):
+    """Figure 12: TIP pinpoints frflags/fsflags inside ceil."""
+    orig, _ = imagick_runs
+    program = orig.program
+    tip_profile = orig.profile("TIP", Granularity.INSTRUCTION)
+    csr_addrs = [i.addr for i in program.instructions
+                 if i.op.value in ("frflags", "fsflags")]
+    ceil = next(f for f in program.functions if f.name == "ceil")
+    ceil_time = {addr: t for addr, t in tip_profile.items()
+                 if isinstance(addr, int) and ceil.contains(addr)}
+    assert ceil_time
+    csr_share = sum(t for addr, t in ceil_time.items()
+                    if addr in csr_addrs) / sum(ceil_time.values())
+    assert csr_share > 0.4  # "most of the time in ceil" on the CSR pair
+
+
+def test_nci_misses_the_csr_instructions(imagick_runs):
+    """Figure 12: NCI attributes the flush time elsewhere."""
+    orig, _ = imagick_runs
+    program = orig.program
+    nci_profile = orig.profile("NCI", Granularity.INSTRUCTION)
+    csr_addrs = {i.addr for i in program.instructions
+                 if i.op.value in ("frflags", "fsflags")}
+    ceil = next(f for f in program.functions if f.name == "ceil")
+    ceil_time = {addr: t for addr, t in nci_profile.items()
+                 if isinstance(addr, int) and ceil.contains(addr)}
+    csr_share = (sum(t for addr, t in ceil_time.items()
+                     if addr in csr_addrs)
+                 / max(sum(ceil_time.values()), 1e-12))
+    assert csr_share < 0.2
+
+
+def test_function_level_profiles_agree(imagick_runs):
+    """Figure 12 (1): at the function level both TIP and NCI look fine,
+    which is exactly why the function profile is inconclusive."""
+    orig, _ = imagick_runs
+    tip_err = orig.error("TIP", Granularity.FUNCTION)
+    nci_err = orig.error("NCI", Granularity.FUNCTION)
+    assert tip_err < 0.05
+    assert nci_err < 0.05

@@ -1,0 +1,103 @@
+"""End-to-end integration tests: the paper's headline claims in miniature.
+
+These run real workloads through the full pipeline (core -> trace ->
+profilers -> error metric) and assert the *shape* results of Section 5.
+"""
+
+import pytest
+
+from repro.analysis import Granularity
+from repro.harness import ProfilerConfig, default_profilers, run_workload
+from repro.workloads import (build_workload, k_branchy, k_csr_flush,
+                             k_int_ilp, k_pointer_chase, k_stream_load)
+
+
+@pytest.fixture(scope="module")
+def mixed_result():
+    workload = build_workload("mixed", [
+        k_int_ilp("compute", 1200, width=6),
+        k_stream_load("stream", 400, 0x20_0000, 1024 * 1024),
+        k_csr_flush("round", 250),
+        k_branchy("branchy", 400, 0x40_0000, taken_bias=0.5),
+    ], rounds=2)
+    return run_workload(workload, default_profilers(13))
+
+
+def test_tip_is_most_accurate_at_instruction_level(mixed_result):
+    errors = mixed_result.errors(Granularity.INSTRUCTION)
+    for name, error in errors.items():
+        if name != "TIP":
+            assert errors["TIP"] <= error, (name, errors)
+
+
+def test_tip_instruction_error_is_small(mixed_result):
+    assert mixed_result.error("TIP", Granularity.INSTRUCTION) < 0.05
+
+
+def test_commit_profilers_accurate_at_function_level(mixed_result):
+    errors = mixed_result.errors(Granularity.FUNCTION)
+    for name in ("TIP", "TIP-ILP", "NCI", "LCI"):
+        assert errors[name] < 0.08, errors
+
+
+def test_software_dispatch_worse_than_commit_based(mixed_result):
+    """Figure 8: tagging at fetch/dispatch creates significant bias."""
+    errors = mixed_result.errors(Granularity.INSTRUCTION)
+    commit_best = min(errors["TIP"], errors["NCI"])
+    assert errors["Software"] > commit_best
+    assert errors["Dispatch"] > commit_best
+
+
+def test_error_grows_with_finer_granularity(mixed_result):
+    """Section 5.1: error is higher at finer granularities."""
+    for name in ("TIP", "NCI", "LCI"):
+        func = mixed_result.error(name, Granularity.FUNCTION)
+        block = mixed_result.error(name, Granularity.BASIC_BLOCK)
+        inst = mixed_result.error(name, Granularity.INSTRUCTION)
+        assert func <= block + 1e-9
+        assert block <= inst + 1e-9
+
+
+def test_tip_ilp_beats_nci_on_flush_heavy_code():
+    """Figure 10: correct flush attribution separates TIP-ILP from NCI."""
+    workload = build_workload("flushy", [k_csr_flush("round", 900)],
+                              rounds=2)
+    result = run_workload(workload, default_profilers(13))
+    errors = result.errors(Granularity.INSTRUCTION)
+    assert errors["TIP-ILP"] < errors["NCI"]
+
+
+def test_nci_ilp_worse_than_nci_on_stalls():
+    """Figure 11c: naively adding ILP-awareness to NCI *increases* error
+    because stall samples are spread over innocent instructions."""
+    workload = build_workload("stally", [
+        k_pointer_chase("chase", 700, 0x20_0000, 32 * 1024),
+    ], rounds=2)
+    configs = default_profilers(13, policies=("NCI", "NCI+ILP", "TIP"))
+    result = run_workload(workload, configs)
+    errors = result.errors(Granularity.INSTRUCTION)
+    assert errors["NCI+ILP"] > errors["NCI"]
+    assert errors["TIP"] < errors["NCI"]
+
+
+def test_higher_sampling_rate_reduces_tip_error():
+    """Figure 11a: TIP keeps improving with sampling frequency."""
+    workload = build_workload("comp", [k_int_ilp("k", 2500, width=6)],
+                              rounds=2)
+    configs = [ProfilerConfig("TIP", 97, label="TIP@97"),
+               ProfilerConfig("TIP", 7, label="TIP@7")]
+    result = run_workload(workload, configs)
+    sparse = result.error("TIP@97", Granularity.INSTRUCTION)
+    dense = result.error("TIP@7", Granularity.INSTRUCTION)
+    assert dense < sparse
+
+
+def test_oracle_total_matches_cycle_count(mixed_result):
+    total = sum(mixed_result.oracle.profile.values())
+    assert total == pytest.approx(mixed_result.stats.cycles, rel=0.02)
+
+
+def test_sampled_time_covers_run(mixed_result):
+    tip = mixed_result.profilers["TIP"]
+    assert tip.sampled_cycles <= mixed_result.stats.cycles
+    assert tip.sampled_cycles >= 0.9 * mixed_result.stats.cycles

@@ -1,0 +1,165 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instruction import INSTRUCTION_BYTES, Register
+from repro.isa.opcodes import Op
+from repro.isa.program import TEXT_BASE
+
+
+def test_simple_program():
+    program = assemble("""
+    .entry main
+    .func main
+    main:
+        addi x1, x0, 5
+        halt
+    """)
+    assert len(program) == 2
+    assert program.entry == TEXT_BASE
+    inst = program.instructions[0]
+    assert inst.op is Op.ADDI
+    assert inst.rd == 1
+    assert inst.imm == 5
+
+
+def test_addresses_are_sequential():
+    program = assemble("add x1, x2, x3\nadd x4, x5, x6\nhalt\n")
+    addrs = [inst.addr for inst in program.instructions]
+    assert addrs == [TEXT_BASE + i * INSTRUCTION_BYTES for i in range(3)]
+
+
+def test_forward_and_backward_labels():
+    program = assemble("""
+    start:
+        beq x1, x2, end
+        bne x1, x0, start
+    end:
+        halt
+    """)
+    beq, bne, halt = program.instructions
+    assert beq.imm == halt.addr
+    assert bne.imm == beq.addr
+
+
+def test_load_store_operands():
+    program = assemble("""
+        lw  x5, 16(x6)
+        sw  x7, -8(x8)
+    """)
+    load, store = program.instructions
+    assert load.rd == 5
+    assert load.sources == (6,)
+    assert load.imm == 16
+    assert store.rd is None
+    assert store.sources == (8, 7)  # (base, data)
+    assert store.imm == -8
+
+
+def test_fp_registers():
+    program = assemble("fadd f1, f2, f3\nfld f4, 0(x5)\n")
+    fadd, fld = program.instructions
+    assert fadd.rd == Register.f(1)
+    assert fadd.sources == (Register.f(2), Register.f(3))
+    assert fld.rd == Register.f(4)
+
+
+def test_jal_jalr():
+    program = assemble("""
+    main:
+        jal  x1, func
+        halt
+    func:
+        jalr x0, x1, 0
+    """)
+    jal = program.instructions[0]
+    jalr = program.instructions[2]
+    assert jal.imm == program.labels["func"]
+    assert jalr.sources == (1,)
+
+
+def test_functions_have_ranges():
+    program = assemble("""
+    .func a
+    a:
+        nop
+        nop
+    .func b
+    b:
+        halt
+    """)
+    funcs = {f.name: f for f in program.functions}
+    assert funcs["a"].hi == funcs["b"].lo
+    assert funcs["a"].contains(TEXT_BASE)
+    assert not funcs["a"].contains(funcs["b"].lo)
+
+
+def test_data_directive():
+    program = assemble(".data 0x2000 3.5\nhalt\n")
+    assert program.data[0x2000] == 3.5
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+    # a comment
+    nop   ; trailing comment
+
+    halt
+    """)
+    assert len(program) == 2
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("bogus x1, x2, x3\n")
+
+
+def test_undefined_label_raises():
+    with pytest.raises(ValueError, match="undefined label"):
+        assemble("beq x1, x2, nowhere\nhalt\n")
+
+
+def test_bad_register_raises():
+    with pytest.raises(AssemblerError):
+        assemble("add x1, y2, x3\n")
+
+
+def test_wrong_operand_count_raises():
+    with pytest.raises(AssemblerError):
+        assemble("add x1, x2\n")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("a:\nnop\na:\nhalt\n")
+
+
+def test_immediate_ops():
+    program = assemble("slli x1, x2, 4\nlui x3, 0x12\n")
+    slli, lui = program.instructions
+    assert slli.imm == 4
+    assert lui.imm == 0x12
+
+
+def test_csr_and_system_ops():
+    program = assemble("frflags x5\nfsflags x6\nfence\nsret\n")
+    frflags, fsflags, fence, sret = program.instructions
+    assert frflags.rd == 5
+    assert fsflags.sources == (6,)
+    assert fence.flushes_on_commit is False
+    assert fence.is_serializing
+    assert sret.flushes_on_commit
+
+
+def test_amoadd():
+    program = assemble("amoadd x5, x6, 0(x7)\n")
+    amo = program.instructions[0]
+    assert amo.rd == 5
+    assert amo.sources == (7, 6)
+    assert amo.is_load and amo.is_store and amo.is_serializing
+
+
+def test_custom_base_address():
+    program = assemble("halt\n", base=0x8_0000)
+    assert program.text_lo == 0x8_0000

@@ -1,0 +1,112 @@
+"""Unit tests for functional instruction semantics."""
+
+import math
+
+import pytest
+
+from repro.isa.instruction import Instruction, Register
+from repro.isa.opcodes import Op
+from repro.isa.semantics import evaluate
+
+
+def _inst(op, rd=None, sources=(), imm=0, addr=0x1000):
+    return Instruction(op, rd, tuple(sources), imm, addr)
+
+
+def test_integer_alu():
+    assert evaluate(_inst(Op.ADD, 1, (2, 3)), (4, 5)).value == 9
+    assert evaluate(_inst(Op.SUB, 1, (2, 3)), (4, 5)).value == -1
+    assert evaluate(_inst(Op.AND, 1, (2, 3)), (0b1100, 0b1010)).value == 0b1000
+    assert evaluate(_inst(Op.XOR, 1, (2, 3)), (0b1100, 0b1010)).value == 0b0110
+    assert evaluate(_inst(Op.SLL, 1, (2, 3)), (1, 4)).value == 16
+    assert evaluate(_inst(Op.SRL, 1, (2, 3)), (16, 2)).value == 4
+    assert evaluate(_inst(Op.SLT, 1, (2, 3)), (1, 2)).value == 1
+    assert evaluate(_inst(Op.MUL, 1, (2, 3)), (7, 6)).value == 42
+
+
+def test_immediates():
+    assert evaluate(_inst(Op.ADDI, 1, (2,), imm=-3), (10,)).value == 7
+    assert evaluate(_inst(Op.ANDI, 1, (2,), imm=0xF), (0x1234,)).value == 4
+    assert evaluate(_inst(Op.SLLI, 1, (2,), imm=3), (2,)).value == 16
+    assert evaluate(_inst(Op.LUI, 1, imm=5), ()).value == 5 << 12
+
+
+def test_division_semantics():
+    assert evaluate(_inst(Op.DIV, 1, (2, 3)), (7, 2)).value == 3
+    assert evaluate(_inst(Op.DIV, 1, (2, 3)), (-7, 2)).value == -3  # trunc
+    assert evaluate(_inst(Op.REM, 1, (2, 3)), (7, 2)).value == 1
+    assert evaluate(_inst(Op.DIV, 1, (2, 3)), (7, 0)).value == -1
+    assert evaluate(_inst(Op.REM, 1, (2, 3)), (7, 0)).value == 7
+
+
+def test_fp_ops():
+    assert evaluate(_inst(Op.FADD, 33, (34, 35)), (1.5, 2.5)).value == 4.0
+    assert evaluate(_inst(Op.FMUL, 33, (34, 35)), (3.0, 2.0)).value == 6.0
+    assert evaluate(_inst(Op.FMADD, 33, (34, 35, 36)),
+                    (2.0, 3.0, 1.0)).value == 7.0
+    assert evaluate(_inst(Op.FDIV, 33, (34, 35)), (1.0, 4.0)).value == 0.25
+    assert evaluate(_inst(Op.FDIV, 33, (34, 35)), (1.0, 0.0)).value == math.inf
+    assert evaluate(_inst(Op.FSQRT, 33, (34,)), (9.0,)).value == 3.0
+    assert evaluate(_inst(Op.FSQRT, 33, (34,)), (-1.0,)).value == 0.0
+
+
+def test_fp_compares_yield_ints():
+    assert evaluate(_inst(Op.FEQ, 1, (34, 35)), (2.0, 2.0)).value == 1
+    assert evaluate(_inst(Op.FLT, 1, (34, 35)), (3.0, 2.0)).value == 0
+    assert evaluate(_inst(Op.FLE, 1, (34, 35)), (2.0, 2.0)).value == 1
+
+
+def test_conversions():
+    assert evaluate(_inst(Op.FCVT_W_D, 1, (34,)), (3.7,)).value == 3
+    assert evaluate(_inst(Op.FCVT_D_W, 33, (2,)), (3,)).value == 3.0
+
+
+def test_loads_compute_effective_address():
+    result = evaluate(_inst(Op.LD, 1, (2,), imm=16), (0x1000,))
+    assert result.eff_addr == 0x1010
+    assert result.value is None
+
+
+def test_stores_carry_value():
+    result = evaluate(_inst(Op.SD, None, (2, 3), imm=-8), (0x1000, 42))
+    assert result.eff_addr == 0xFF8
+    assert result.store_value == 42
+
+
+def test_amoadd_semantics():
+    result = evaluate(_inst(Op.AMOADD, 1, (2, 3)), (0x2000, 5))
+    assert result.eff_addr == 0x2000
+    assert result.store_value == 5  # old value added by the core
+
+
+def test_branches():
+    taken = evaluate(_inst(Op.BEQ, None, (1, 2), imm=0x2000), (5, 5))
+    assert taken.taken and taken.target == 0x2000
+    not_taken = evaluate(_inst(Op.BEQ, None, (1, 2), imm=0x2000,
+                               addr=0x1000), (5, 6))
+    assert not not_taken.taken
+    assert not_taken.target == 0x1004
+    assert evaluate(_inst(Op.BLT, None, (1, 2), imm=0x2000), (1, 2)).taken
+    assert evaluate(_inst(Op.BGE, None, (1, 2), imm=0x2000), (2, 2)).taken
+
+
+def test_jal_links_return_address():
+    result = evaluate(_inst(Op.JAL, 1, (), imm=0x3000, addr=0x1000), ())
+    assert result.taken and result.target == 0x3000
+    assert result.value == 0x1004
+
+
+def test_jalr_indirect_target():
+    result = evaluate(_inst(Op.JALR, 0, (1,), imm=4, addr=0x1000), (0x2001,))
+    assert result.target == 0x2004  # low bit cleared
+    assert result.value == 0x1004
+
+
+def test_frflags_reads_csr():
+    assert evaluate(_inst(Op.FRFLAGS, 1), (), fflags=0b11).value == 0b11
+
+
+def test_signed_wraparound():
+    huge = (1 << 63) - 1
+    result = evaluate(_inst(Op.ADD, 1, (2, 3)), (huge, 1)).value
+    assert result == -(1 << 63)

@@ -1,0 +1,122 @@
+"""Unit tests for the cache model."""
+
+import pytest
+
+from repro.mem.cache import Cache, MainMemory
+
+
+def _l1(mshrs=4, size=1024, assoc=2, block=64, hit=2, dram_latency=100):
+    dram = MainMemory(latency=dram_latency, cycles_per_access=0)
+    return Cache("L1", size, assoc, block, hit, mshrs, dram), dram
+
+
+def test_cold_miss_then_hit():
+    cache, _ = _l1()
+    miss = cache.access(0x1000, cycle=0)
+    assert not miss.hit
+    assert miss.latency >= 100
+    hit = cache.access(0x1008, cycle=miss.latency)  # same block
+    assert hit.hit
+    assert hit.latency == 2
+
+
+def test_lru_eviction():
+    cache, _ = _l1(size=256, assoc=2, block=64)  # 2 sets
+    # Three blocks mapping to set 0: 0, 128, 256 (block numbers 0, 2, 4).
+    cache.access(0 * 64, 0)
+    cache.access(2 * 64, 200)
+    cache.access(4 * 64, 400)   # evicts block 0
+    assert not cache.contains(0)
+    assert cache.contains(2 * 64)
+    assert cache.contains(4 * 64)
+    result = cache.access(0, 600)
+    assert not result.hit
+
+
+def test_lru_touch_refreshes():
+    cache, _ = _l1(size=256, assoc=2, block=64)
+    cache.access(0 * 64, 0)
+    cache.access(2 * 64, 200)
+    cache.access(0 * 64, 400)   # touch block 0: now MRU
+    cache.access(4 * 64, 600)   # evicts block 2
+    assert cache.contains(0)
+    assert not cache.contains(2 * 64)
+
+
+def test_mshr_coalescing():
+    cache, dram = _l1(mshrs=4)
+    first = cache.access(0x1000, 0)
+    second = cache.access(0x1000, 1)  # same block, while miss in flight
+    assert cache.stats.coalesced == 1
+    assert second.latency <= first.latency
+    assert dram.accesses == 1  # only one fill request
+
+
+def test_mshr_exhaustion_queues():
+    cache, _ = _l1(mshrs=2, size=4096, assoc=8)
+    lat_a = cache.access(0 * 64, 0).latency
+    lat_b = cache.access(16 * 64, 0).latency
+    lat_c = cache.access(32 * 64, 0).latency  # queued behind a free MSHR
+    assert lat_c > max(lat_a, lat_b)
+    assert cache.stats.mshr_stall_cycles > 0
+
+
+def test_mshrs_expire_over_time():
+    cache, _ = _l1(mshrs=1)
+    cache.access(0 * 64, 0)
+    # Long after the fill, a new miss should not see MSHR pressure.
+    result = cache.access(16 * 64, 10_000)
+    assert cache.stats.mshr_stall_cycles == 0
+    assert result.latency >= 100
+
+
+def test_next_line_prefetch():
+    dram = MainMemory(latency=100, cycles_per_access=0)
+    cache = Cache("L1", 1024, 2, 64, 2, 4, dram, prefetch_next_line=True)
+    cache.access(0, 0)
+    assert cache.contains(64)  # next block prefetched
+    assert cache.stats.prefetches == 1
+    hit = cache.access(64, 200)
+    assert hit.hit
+
+
+def test_stats_accounting():
+    cache, _ = _l1()
+    cache.access(0, 0)
+    cache.access(0, 200)
+    cache.access(4096, 400)
+    assert cache.stats.accesses == 3
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 2
+    assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+
+def test_geometry_validation():
+    dram = MainMemory()
+    with pytest.raises(ValueError):
+        Cache("bad", 1000, 3, 64, 1, 4, dram)
+
+
+def test_dram_bandwidth_queueing():
+    dram = MainMemory(latency=50, cycles_per_access=10)
+    first = dram.access(0, 0)
+    second = dram.access(64, 0)
+    third = dram.access(128, 0)
+    assert first.latency == 50
+    assert second.latency == 60
+    assert third.latency == 70
+
+
+def test_dram_queue_drains():
+    dram = MainMemory(latency=50, cycles_per_access=10)
+    dram.access(0, 0)
+    later = dram.access(64, 1000)
+    assert later.latency == 50
+
+
+def test_reset_clears_state():
+    cache, _ = _l1()
+    cache.access(0, 0)
+    cache.reset()
+    assert cache.stats.accesses == 0
+    assert not cache.contains(0)

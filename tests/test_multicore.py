@@ -1,0 +1,65 @@
+"""Multi-core profiling session tests (Section 3.2 multi-threading)."""
+
+import pytest
+
+from repro.analysis.symbols import Granularity
+from repro.harness.multicore import MulticoreSession
+from repro.workloads import build_workload, k_int_ilp, k_stream_load
+
+
+def _two_core_session():
+    core0 = build_workload("c0", [k_int_ilp("compute", 800, width=6)])
+    core1 = build_workload("c1", [
+        k_stream_load("stream", 300, 0x20_0000, 64 * 1024)])
+    return MulticoreSession([core0, core1], period=31).run()
+
+
+@pytest.fixture(scope="module")
+def session():
+    return _two_core_session()
+
+
+def test_each_core_runs_to_completion(session):
+    assert len(session.sessions) == 2
+    for core in session.sessions:
+        assert core.machine.core.halted
+        assert core.tip.samples
+    assert session.total_cycles == sum(c.cycles for c in session.sessions)
+
+
+def test_per_core_profiles_normalised(session):
+    profiles = session.per_core_profiles(Granularity.FUNCTION)
+    assert set(profiles) == {0, 1}
+    for profile in profiles.values():
+        assert sum(profile.values()) == pytest.approx(1.0)
+    assert "compute" in profiles[0]
+    assert "stream" in profiles[1]
+
+
+def test_system_profile_tags_cores(session):
+    system = session.system_profile(Granularity.FUNCTION, tag_core=True)
+    assert sum(system.values()) == pytest.approx(1.0)
+    cores = {core for core, _ in system}
+    assert cores == {0, 1}
+    # Each core's share is weighted by its sampled time.
+    core1_share = sum(v for (core, _), v in system.items() if core == 1)
+    cycles1 = session.sessions[1].cycles
+    expected = cycles1 / session.total_cycles
+    assert core1_share == pytest.approx(expected, rel=0.1)
+
+
+def test_system_profile_merges_shared_symbols():
+    workload = build_workload("same", [k_int_ilp("compute", 400,
+                                                 width=6)])
+    other = build_workload("same2", [k_int_ilp("compute", 400, width=6)])
+    session = MulticoreSession([workload, other], period=31).run()
+    merged = session.system_profile(Granularity.FUNCTION, tag_core=False)
+    assert "compute" in merged
+    # Both cores' time lands on the same symbol (the rest is the boot
+    # drain attributed to main's first instruction).
+    assert merged["compute"] > 0.6
+
+
+def test_empty_session_rejected():
+    with pytest.raises(ValueError):
+        MulticoreSession([])

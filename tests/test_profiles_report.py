@@ -1,0 +1,101 @@
+"""Profile building and report rendering tests."""
+
+import pytest
+
+from repro.analysis.cyclestacks import CycleStack
+from repro.analysis.profiles import (build_profile, normalize,
+                                     oracle_profile, top_symbols)
+from repro.analysis.report import (render_cycle_stack, render_error_table,
+                                   render_profile_table,
+                                   render_stacks_table)
+from repro.analysis.symbols import Granularity, Symbolizer
+from repro.core.oracle import OracleProfiler
+from repro.core.samples import Category, Sample
+from repro.cpu.trace import replay
+from tests.test_oracle import I1, I3, LOAD, PROGRAM
+from conftest import make_record
+
+
+def test_build_profile_weights_by_interval():
+    samples = [Sample(10, 10, [(I1, 1.0)]),
+               Sample(20, 10, [(I1, 0.5), (I3, 0.5)])]
+    sym = Symbolizer(PROGRAM)
+    profile = build_profile(samples, sym, Granularity.INSTRUCTION)
+    assert profile[I1] == pytest.approx(15.0)
+    assert profile[I3] == pytest.approx(5.0)
+
+
+def test_build_profile_function_granularity():
+    samples = [Sample(10, 4, [(I1, 1.0)])]
+    sym = Symbolizer(PROGRAM)
+    profile = build_profile(samples, sym, Granularity.FUNCTION)
+    assert profile == {"f": 4.0}
+
+
+def test_normalize():
+    assert normalize({"a": 3.0, "b": 1.0}) == {"a": 0.75, "b": 0.25}
+    assert normalize({}) == {}
+    assert normalize({"a": 0.0}) == {}
+
+
+def test_top_symbols():
+    profile = {"a": 1.0, "b": 5.0, "c": 3.0}
+    assert top_symbols(profile, 2) == [("b", 5.0), ("c", 3.0)]
+
+
+def test_oracle_profile_aggregates():
+    oracle = OracleProfiler(PROGRAM)
+    replay([make_record(0, committed=[(I1, False, False)]),
+            make_record(1, rob_head=LOAD)], oracle)
+    sym = Symbolizer(PROGRAM)
+    profile = oracle_profile(oracle.report, sym, Granularity.FUNCTION)
+    assert profile["f"] == pytest.approx(2.0)
+
+
+def test_render_profile_table_contains_symbols():
+    sym_profiles = {"TIP": {"f": 0.6, "g": 0.4}, "NCI": {"f": 0.9}}
+    text = render_profile_table(sym_profiles, title="function profile")
+    assert "function profile" in text
+    assert "TIP" in text and "NCI" in text
+    assert "60.00%" in text
+    assert "f" in text
+
+
+def test_render_profile_table_with_program_addresses():
+    profiles = {"Oracle": {I1: 0.7, LOAD: 0.3}}
+    text = render_profile_table(profiles, program=PROGRAM)
+    assert "add" in text  # mnemonic shown next to the address
+    assert hex(I1) in text
+
+
+def test_render_error_table_includes_average():
+    errors = {"bench1": {"TIP": 0.01, "NCI": 0.10},
+              "bench2": {"TIP": 0.03, "NCI": 0.20}}
+    text = render_error_table(errors)
+    assert "average" in text
+    assert "2.00%" in text   # TIP average
+    assert "15.00%" in text  # NCI average
+
+
+def test_render_cycle_stack():
+    stack = CycleStack({Category.EXECUTION: 60.0,
+                        Category.LOAD_STALL: 40.0})
+    text = render_cycle_stack(stack, "lbm")
+    assert "lbm" in text
+    assert "Execution" in text
+    assert "60.00%" in text
+    assert "class:" in text
+
+
+def test_render_stacks_table():
+    stacks = {"a": CycleStack({Category.EXECUTION: 1.0}),
+              "b": CycleStack({Category.MISPREDICT: 1.0})}
+    text = render_stacks_table(stacks)
+    assert "a" in text and "b" in text
+    assert "Compute" in text and "Flush" in text
+
+
+def test_render_empty_tables():
+    assert "(empty)" in render_profile_table({})
+    assert "(empty)" in render_error_table({})
+    assert "(empty)" in render_stacks_table({})

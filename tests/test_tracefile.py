@@ -1,0 +1,176 @@
+"""Trace serialization tests: record once, analyze many times."""
+
+import io
+
+import pytest
+
+from repro.core.oracle import OracleProfiler
+from repro.core.sampling import SampleSchedule
+from repro.core.tip import TipProfiler
+from repro.cpu.machine import Machine
+from repro.cpu.trace import TraceCollector
+from repro.cpu.tracefile import (TraceWriter, read_trace, replay_trace)
+from repro.isa import assemble
+from repro.workloads import build_workload, k_csr_flush, k_int_ilp
+
+SRC = """
+.data 0x2000 1
+.func main
+    addi x1, x0, 0
+    addi x2, x0, 120
+loop:
+    lw   x3, 0x2000(x1)
+    andi x1, x1, 255
+    frflags x5
+    addi x1, x1, 8
+    addi x2, x2, -1
+    bne  x2, x0, loop
+    lw   x9, 0x100000(x0)
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    program = assemble(SRC)
+    machine = Machine(program, premapped_data=[(0x2000, 0x2200)])
+    buffer = io.BytesIO()
+    writer = TraceWriter(buffer, banks=4)
+    collector = TraceCollector()
+    machine.attach(writer)
+    machine.attach(collector)
+    machine.run()
+    return buffer.getvalue(), collector, machine
+
+
+def test_round_trip_every_field(recorded):
+    data, collector, _ = recorded
+    decoded = list(read_trace(io.BytesIO(data)))
+    assert len(decoded) == len(collector.records)
+    for original, copy in zip(collector.records, decoded):
+        assert copy.cycle == original.cycle
+        assert copy.rob_empty == original.rob_empty
+        assert copy.rob_head == original.rob_head
+        assert copy.exception == original.exception
+        assert copy.exception_is_ordering == original.exception_is_ordering
+        assert copy.dispatch_pc == original.dispatch_pc
+        assert copy.fetch_pc == original.fetch_pc
+        assert copy.oldest_bank == original.oldest_bank
+        assert tuple(copy.dispatched) == tuple(original.dispatched)
+        assert len(copy.committed) == len(original.committed)
+        for a, b in zip(original.committed, copy.committed):
+            assert (a.addr, a.bank, a.mispredicted, a.flushes) == \
+                (b.addr, b.bank, b.mispredicted, b.flushes)
+
+
+def test_replay_reproduces_oracle_exactly(recorded):
+    data, _, machine = recorded
+    live_oracle = OracleProfiler(machine.image)
+    from repro.cpu.trace import replay as replay_records
+    # Replay from the binary stream and compare against a live pass.
+    replayed_oracle = OracleProfiler(machine.image)
+    replay_trace(data, replayed_oracle)
+    collector_oracle = OracleProfiler(machine.image)
+    # Fresh simulation for the live reference.
+    rerun = Machine(assemble(SRC), premapped_data=[(0x2000, 0x2200)])
+    rerun.attach(collector_oracle)
+    rerun.run()
+    assert replayed_oracle.report.profile == collector_oracle.report.profile
+    assert replayed_oracle.report.category_totals == \
+        collector_oracle.report.category_totals
+
+
+def test_replay_drives_profilers(recorded):
+    data, _, machine = recorded
+    tip = TipProfiler(SampleSchedule(7), machine.image)
+    cycles = replay_trace(data, tip)
+    assert cycles > 0
+    assert tip.samples
+    assert tip.profile()
+
+
+def test_replay_from_file(tmp_path, recorded):
+    data, _, machine = recorded
+    path = tmp_path / "run.tiptrace"
+    path.write_bytes(data)
+    tip = TipProfiler(SampleSchedule(11), machine.image)
+    replay_trace(str(path), tip)
+    assert tip.samples
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError, match="not a TIP trace"):
+        list(read_trace(io.BytesIO(b"BOGUS123" + b"\x04")))
+
+
+def test_truncated_stream_rejected(recorded):
+    data, _, _ = recorded
+    with pytest.raises((ValueError, struct_error_types())):
+        list(read_trace(io.BytesIO(data[:len(data) // 2 + 1])))
+
+
+def struct_error_types():
+    import struct
+    return struct.error
+
+
+def test_compactness(recorded):
+    """The binary trace is far smaller than the in-memory records."""
+    data, collector, _ = recorded
+    per_cycle = len(data) / len(collector.records)
+    assert per_cycle < 64  # bytes/cycle, vs ~56 B the paper assumes
+
+
+# -- property-based round trip -------------------------------------------------
+
+from hypothesis import given, settings, strategies as st
+
+
+@st.composite
+def _random_records(draw):
+    from conftest import make_record
+    length = draw(st.integers(1, 30))
+    records = []
+    for cycle in range(length):
+        n_commits = draw(st.integers(0, 4))
+        committed = [(draw(st.integers(0, 1 << 48)) & ~3,
+                      draw(st.booleans()), draw(st.booleans()))
+                     for _ in range(n_commits)]
+        rob_head = (draw(st.integers(0, 1 << 48)) & ~3
+                    if draw(st.booleans()) else None)
+        exception = (draw(st.integers(0, 1 << 48)) & ~3
+                     if rob_head is None and not committed
+                     and draw(st.booleans()) else None)
+        dispatched = [draw(st.integers(0, 1 << 48)) & ~3
+                      for _ in range(draw(st.integers(0, 4)))]
+        records.append(make_record(
+            cycle, committed=committed, rob_head=rob_head,
+            exception=exception,
+            exception_is_ordering=draw(st.booleans()),
+            dispatched=dispatched,
+            dispatch_pc=(draw(st.integers(0, 1 << 48)) & ~3
+                         if draw(st.booleans()) else None),
+            fetch_pc=draw(st.integers(0, 1 << 48)) & ~3,
+            banks=4))
+    return records
+
+
+@given(records=_random_records())
+@settings(max_examples=40, deadline=None)
+def test_property_round_trip(records):
+    buffer = io.BytesIO()
+    writer = TraceWriter(buffer, banks=4)
+    for record in records:
+        writer.on_cycle(record)
+    writer.on_finish(records[-1].cycle)
+    decoded = list(read_trace(io.BytesIO(buffer.getvalue())))
+    assert len(decoded) == len(records)
+    for original, copy in zip(records, decoded):
+        assert copy.fetch_pc == original.fetch_pc
+        assert copy.rob_head == original.rob_head
+        assert copy.exception == original.exception
+        assert tuple(copy.dispatched) == tuple(original.dispatched)
+        assert [c.addr for c in copy.committed] == \
+            [c.addr for c in original.committed]
+        assert [c.mispredicted for c in copy.committed] == \
+            [c.mispredicted for c in original.committed]
