@@ -1,0 +1,33 @@
+# The Imagick anti-pattern, reduced: a hot loop calling a helper that
+# brackets its work with FP-status CSR accesses.  On BOOM every
+# ``frflags``/``fsflags`` flushes the pipeline on commit, so the flush
+# cost recurs once per loop iteration even though the helper itself is
+# loop-free (paper Section 6).
+#
+#   $ python -m repro lint examples/asm/csr_hotloop.s
+#
+# reports warning[L001] at both CSR instructions with a `nop` fix-hint.
+
+.entry main
+.func main
+main:
+    addi x5, x0, 0
+    addi x6, x0, 64
+loop:
+    fld  f1, 0x200000(x5)
+    jal  x2, round_guarded
+    fadd f4, f4, f3
+    addi x5, x5, 8
+    andi x5, x5, 511
+    addi x6, x6, -1
+    bne  x6, x0, loop
+    halt
+
+.func round_guarded
+round_guarded:
+    frflags x7              # L001: flush-on-commit, called from loop
+    fcvt.w.d x8, f1
+    fcvt.d.w f2, x8
+    fmv  f3, f2
+    fsflags x7              # L001: flush-on-commit, called from loop
+    jalr x0, x2, 0

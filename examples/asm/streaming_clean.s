@@ -1,0 +1,27 @@
+# A clean streaming kernel: no flush-inducing instructions, every block
+# reachable, every function properly terminated.
+#
+#   $ python -m repro lint examples/asm/streaming_clean.s
+#
+# reports no diagnostics.
+
+.entry main
+.func main
+main:
+    addi x5, x0, 0
+    addi x6, x0, 128
+    jal  x1, accumulate
+    halt
+
+.func accumulate
+accumulate:
+acc_loop:
+    fld  f1, 0x200000(x5)
+    fld  f2, 0x200008(x5)
+    fmadd f4, f1, f2, f4
+    fadd f5, f5, f1
+    addi x5, x5, 16
+    andi x5, x5, 1023
+    addi x6, x6, -1
+    bne  x6, x0, acc_loop
+    jalr x0, x1, 0

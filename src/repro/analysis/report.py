@@ -7,10 +7,63 @@ stacks, and the per-benchmark error tables behind Figures 8-10.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+from typing import (Callable, Dict, Hashable, Iterable, List, Mapping,
+                    Optional, Sequence)
 
 from ..isa.program import Program
 from .cyclestacks import STACK_ORDER, CycleStack
+
+
+def format_diag(severity: str, rule: str, message: str, *,
+                addr: Optional[int] = None,
+                function: Optional[str] = None,
+                cycle: Optional[int] = None,
+                hint: Optional[str] = None) -> str:
+    """The one shared diagnostic line format of the toolkit.
+
+    Used by the linter's :class:`~repro.lint.diagnostics.Diagnostic`
+    and the trace sanitizer's violation reports so every tool prints
+    machine-grepable, uniformly shaped lines::
+
+        severity[RULE] cycle N @0xADDR (function): message
+            hint: ...
+
+    Location parts (*cycle*, *addr*, *function*) are optional and
+    omitted when unknown.  *hint* adds an indented fix-suggestion line.
+    """
+    parts = [f"{severity}[{rule}]"]
+    if cycle is not None:
+        parts.append(f"cycle {cycle}")
+    if addr is not None:
+        parts.append(f"@{addr:#x}")
+    if function:
+        parts.append(f"({function})")
+    text = f"{' '.join(parts)}: {message}"
+    if hint:
+        text += f"\n    hint: {hint}"
+    return text
+
+
+def _render_matrix(title: str, row_label: str, rows: Sequence[str],
+                   columns: Sequence[str],
+                   cell: Callable[[str, str], float],
+                   footer: Optional[str] = None,
+                   footer_cell: Optional[Callable[[str], float]] = None
+                   ) -> str:
+    """Shared rows x columns percentage table (profiles, error tables)."""
+    if not rows:
+        return f"== {title} ==\n(empty)"
+    width = max([len(r) for r in rows]
+                + [len(footer or ""), len(row_label), 10])
+    lines = [f"== {title} ==",
+             f"{row_label:<{width}} " + " ".join(f"{c:>9}" for c in columns)]
+    for row in rows:
+        body = " ".join(f"{cell(row, c):>8.2%}" for c in columns)
+        lines.append(f"{row:<{width}} {body}")
+    if footer is not None and footer_cell is not None:
+        body = " ".join(f"{footer_cell(c):>8.2%}" for c in columns)
+        lines.append(f"{footer:<{width}} {body}")
+    return "\n".join(lines)
 
 
 def _fmt_symbol(program: Optional[Program], sym: Hashable) -> str:
@@ -50,19 +103,12 @@ def render_error_table(errors: Mapping[str, Mapping[str, float]],
     if not benchmarks:
         return f"== {title} ==\n(empty)"
     profilers = list(next(iter(errors.values())))
-    width = max([len(b) for b in benchmarks] + [len("average"), 10])
-    lines = [f"== {title} ==",
-             f"{'benchmark':<{width}} "
-             + " ".join(f"{p:>9}" for p in profilers)]
-    for bench in benchmarks:
-        row = " ".join(f"{errors[bench].get(p, 0.0):>8.2%}"
-                       for p in profilers)
-        lines.append(f"{bench:<{width}} {row}")
-    averages = {p: sum(errors[b].get(p, 0.0) for b in benchmarks)
-                / len(benchmarks) for p in profilers}
-    lines.append(f"{'average':<{width}} "
-                 + " ".join(f"{averages[p]:>8.2%}" for p in profilers))
-    return "\n".join(lines)
+    return _render_matrix(
+        title, "benchmark", benchmarks, profilers,
+        lambda bench, prof: errors[bench].get(prof, 0.0),
+        footer="average",
+        footer_cell=lambda prof: sum(errors[b].get(prof, 0.0)
+                                     for b in benchmarks) / len(benchmarks))
 
 
 def render_cycle_stack(stack: CycleStack, label: str = "run") -> str:

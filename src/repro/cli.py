@@ -16,11 +16,19 @@ Commands
     Simulate once and serialize the commit-stage trace.
 ``replay trace.bin FILE.s``
     Re-profile a recorded trace without re-simulating.
+``lint TARGET...``
+    Statically lint assembly files, directories or benchmark names.
+
+``profile``, ``suite``, ``record`` and ``replay`` accept ``--sanitize``
+to validate the commit-stage trace against the commit invariants while
+it is produced (or replayed), failing fast on the first violation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -31,7 +39,9 @@ from .cpu.config import CoreConfig
 from .harness import default_profilers, run_experiment, run_suite, \
     run_workload
 from .isa import assemble
+from .lint import TraceInvariantError
 from .workloads import build_imagick, build_suite
+from .workloads.suite import BENCHMARKS
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -41,9 +51,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="random instead of periodic sampling")
 
 
+def _add_sanitize(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sanitize", action="store_true",
+                        help="validate the commit trace against the "
+                             "commit-stage invariants (fail fast)")
+
+
 def _profilers(args):
     mode = "random" if args.random else "periodic"
     return default_profilers(args.period, mode=mode)
+
+
+def _reject_unknown_benchmarks(names: Optional[List[str]]) -> bool:
+    """Print any unknown benchmark names to stderr.  True if any."""
+    unknown = [name for name in (names or []) if name not in BENCHMARKS]
+    if unknown:
+        print("unknown benchmark(s): " + ", ".join(unknown),
+              file=sys.stderr)
+        print("known: " + ", ".join(BENCHMARKS), file=sys.stderr)
+    return bool(unknown)
 
 
 def cmd_profile(args) -> int:
@@ -52,9 +78,12 @@ def cmd_profile(args) -> int:
     program = assemble(source, name=args.file)
     premapped = [(0, 1 << 28)] if args.map_all else None
     result = run_experiment(program, _profilers(args),
-                            premapped_data=premapped)
+                            premapped_data=premapped,
+                            sanitize=args.sanitize)
     print(f"{result.stats.committed} instructions, "
           f"{result.stats.cycles} cycles, IPC {result.stats.ipc:.2f}\n")
+    if result.sanitizer is not None:
+        print(result.sanitizer.summary() + "\n")
     granularity = Granularity(args.granularity)
     profiles = {"Oracle": result.oracle_profile(granularity)}
     for name in result.profilers:
@@ -68,19 +97,27 @@ def cmd_profile(args) -> int:
 
 
 def cmd_suite(args) -> int:
+    if _reject_unknown_benchmarks(args.benchmarks):
+        return 2
     names = args.benchmarks or None
     workloads = build_suite(names, scale=args.scale)
     suite = run_suite(workloads, profilers=_profilers(args),
-                      verbose=True)
+                      verbose=True, sanitize=args.sanitize)
     for granularity in Granularity:
         table = suite.errors(granularity)
         print()
         print(render_error_table(
             table, title=f"{granularity.value}-level error"))
+    if args.sanitize:
+        print()
+        for name, summary in suite.sanitizer_summaries().items():
+            print(f"{name}: {summary}")
     return 0
 
 
 def cmd_stacks(args) -> int:
+    if _reject_unknown_benchmarks(args.benchmarks):
+        return 2
     names = args.benchmarks or None
     workloads = build_suite(names, scale=args.scale)
     suite = run_suite(workloads, profilers=_profilers(args),
@@ -109,11 +146,18 @@ def cmd_record(args) -> int:
         program = assemble(handle.read(), name=args.file)
     premapped = [(0, 1 << 28)] if args.map_all else None
     machine = Machine(program, premapped_data=premapped)
+    sanitizer = None
+    if args.sanitize:
+        from .lint import TraceSanitizer
+        sanitizer = TraceSanitizer.for_machine(machine)
+        machine.attach(sanitizer)
     with open(args.output, "wb") as out:
         machine.attach(TraceWriter(out, machine.config.rob_banks))
         stats = machine.run()
     print(f"recorded {stats.cycles} cycles "
           f"({stats.committed} instructions) to {args.output}")
+    if sanitizer is not None:
+        print(sanitizer.summary())
     return 0
 
 
@@ -130,7 +174,13 @@ def cmd_replay(args) -> int:
     profiler = POLICIES[args.policy](schedule, image)
     oracle = OracleProfiler(image,
                             watch_schedules=[SampleSchedule(args.period)])
-    cycles = replay_trace(args.trace, oracle, profiler)
+    observers = [oracle, profiler]
+    sanitizer = None
+    if args.sanitize:
+        from .lint import TraceSanitizer
+        sanitizer = TraceSanitizer(program=image)
+        observers.append(sanitizer)
+    cycles = replay_trace(args.trace, *observers)
     oracle.report.total_cycles = cycles
     granularity = Granularity(args.granularity)
     profiles = {"Oracle": dict(sorted(
@@ -143,7 +193,61 @@ def cmd_replay(args) -> int:
                           granularity)
     print(f"replayed {cycles} cycles, {len(profiler.samples)} samples")
     print(f"{args.policy} {granularity.value}-level error: {error:.2%}")
+    if sanitizer is not None:
+        print(sanitizer.summary())
     return 0
+
+
+def _lint_targets(targets: List[str]):
+    """Resolve lint targets to (label, Program) pairs.
+
+    A target is an assembly file, a directory (linted recursively), a
+    suite benchmark name, or ``imagick-orig`` / ``imagick-opt``.
+    Unresolvable targets are returned separately.
+    """
+    programs = []
+    bad: List[str] = []
+    for target in targets:
+        if os.path.isdir(target):
+            files = sorted(
+                os.path.join(root, name)
+                for root, _dirs, names in os.walk(target)
+                for name in names if name.endswith(".s"))
+            if not files:
+                bad.append(f"{target} (no .s files)")
+            for path in files:
+                with open(path) as handle:
+                    programs.append(
+                        (path, assemble(handle.read(), name=path)))
+        elif os.path.isfile(target):
+            with open(target) as handle:
+                programs.append(
+                    (target, assemble(handle.read(), name=target)))
+        elif target in ("imagick-orig", "imagick-opt"):
+            workload = build_imagick(optimized=target.endswith("-opt"))
+            programs.append((target, workload.program))
+        elif target in BENCHMARKS:
+            workload, = build_suite([target], scale=0.1)
+            programs.append((target, workload.program))
+        else:
+            bad.append(target)
+    return programs, bad
+
+
+def cmd_lint(args) -> int:
+    from .lint import lint_program
+    programs, bad = _lint_targets(args.targets)
+    if bad:
+        print("cannot lint: " + ", ".join(bad), file=sys.stderr)
+        return 2
+    reports = [lint_program(program) for _label, program in programs]
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports],
+                         indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    return 1 if any(report.errors for report in reports) else 0
 
 
 def cmd_overhead(_args) -> int:
@@ -174,12 +278,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--map-all", action="store_true",
                          help="premap the whole data address space")
     _add_common(profile)
+    _add_sanitize(profile)
     profile.set_defaults(func=cmd_profile)
 
     suite = sub.add_parser("suite", help="run the benchmark suite")
     suite.add_argument("benchmarks", nargs="*")
     suite.add_argument("--scale", type=float, default=0.5)
     _add_common(suite)
+    _add_sanitize(suite)
     suite.set_defaults(func=cmd_suite)
 
     stacks = sub.add_parser("stacks", help="print cycle stacks")
@@ -200,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("file")
     record.add_argument("-o", "--output", default="trace.tiptrace")
     record.add_argument("--map-all", action="store_true")
+    _add_sanitize(record)
     record.set_defaults(func=cmd_record)
 
     replay = sub.add_parser("replay", help="re-profile a recorded trace")
@@ -211,14 +318,28 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--granularity", default="instruction",
                         choices=[g.value for g in Granularity])
     _add_common(replay)
+    _add_sanitize(replay)
     replay.set_defaults(func=cmd_replay)
+
+    lint = sub.add_parser(
+        "lint", help="statically lint programs",
+        description="Lint assembly files, directories of .s files, "
+                    "suite benchmark names, or imagick-orig/imagick-opt.")
+    lint.add_argument("targets", nargs="+")
+    lint.add_argument("--json", action="store_true",
+                      help="emit diagnostics as JSON")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except TraceInvariantError as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

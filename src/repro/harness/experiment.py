@@ -25,6 +25,7 @@ from ..cpu.config import CoreConfig
 from ..cpu.core import CoreStats
 from ..cpu.machine import Machine
 from ..isa.program import Program
+from ..lint.sanitizer import TraceSanitizer
 
 #: Policy name -> constructor(schedule, program).
 POLICIES = {
@@ -69,11 +70,14 @@ class ExperimentResult:
     """Profilers, Oracle report and statistics of one run."""
 
     def __init__(self, program: Program, oracle: OracleReport,
-                 profilers: Dict[str, SamplingProfiler], stats: CoreStats):
+                 profilers: Dict[str, SamplingProfiler], stats: CoreStats,
+                 sanitizer: Optional["TraceSanitizer"] = None):
         self.program = program
         self.oracle = oracle
         self.profilers = profilers
         self.stats = stats
+        #: The trace sanitizer attached to the run (``sanitize=True``).
+        self.sanitizer = sanitizer
         self.symbolizer = Symbolizer(program)
 
     # -- errors -------------------------------------------------------------------
@@ -119,10 +123,22 @@ def run_experiment(program: Program,
                    profilers: Sequence[ProfilerConfig],
                    config: Optional[CoreConfig] = None,
                    premapped_data: Optional[List[Tuple[int, int]]] = None,
-                   max_cycles: int = 10_000_000) -> ExperimentResult:
-    """Simulate *program* once with all *profilers* attached out-of-band."""
+                   max_cycles: int = 10_000_000,
+                   sanitize: bool = False) -> ExperimentResult:
+    """Simulate *program* once with all *profilers* attached out-of-band.
+
+    With *sanitize* a :class:`~repro.lint.TraceSanitizer` validates the
+    commit trace against the invariants every profiler depends on,
+    raising :class:`~repro.lint.TraceInvariantError` on the first
+    violation.
+    """
     machine = Machine(program, config, premapped_data)
     image = machine.image
+
+    sanitizer = None
+    if sanitize:
+        sanitizer = TraceSanitizer.for_machine(machine)
+        machine.attach(sanitizer)
 
     # Oracle watches the union of all distinct sampling schedules so the
     # error metric can compare every sample against golden attribution.
@@ -142,7 +158,8 @@ def run_experiment(program: Program,
         machine.attach(profiler)
 
     stats = machine.run(max_cycles)
-    return ExperimentResult(image, oracle.report, built, stats)
+    return ExperimentResult(image, oracle.report, built, stats,
+                            sanitizer=sanitizer)
 
 
 def default_profilers(period: int, mode: str = "periodic", seed: int = 0,

@@ -59,17 +59,24 @@ class SuiteResult:
         return {name: result.cycle_stack()
                 for name, result in self.results.items()}
 
+    def sanitizer_summaries(self) -> Dict[str, str]:
+        """benchmark -> sanitizer summary line (sanitized runs only)."""
+        return {name: result.sanitizer.summary()
+                for name, result in self.results.items()
+                if result.sanitizer is not None}
+
     def __getitem__(self, name: str) -> ExperimentResult:
         return self.results[name]
 
 
 def run_workload(workload: Workload,
                  profilers: Sequence[ProfilerConfig],
-                 max_cycles: int = 10_000_000) -> ExperimentResult:
+                 max_cycles: int = 10_000_000,
+                 sanitize: bool = False) -> ExperimentResult:
     """Run one workload with the given profiler configurations."""
     return run_experiment(workload.program, profilers,
                           premapped_data=workload.premapped,
-                          max_cycles=max_cycles)
+                          max_cycles=max_cycles, sanitize=sanitize)
 
 
 def run_suite(workloads: Optional[Sequence[Workload]] = None,
@@ -78,8 +85,13 @@ def run_suite(workloads: Optional[Sequence[Workload]] = None,
               policies: Sequence[str] = ALL_POLICIES,
               scale: float = 1.0,
               max_cycles: int = 10_000_000,
-              verbose: bool = False) -> SuiteResult:
-    """Run the whole suite (or the given workloads)."""
+              verbose: bool = False,
+              sanitize: bool = False) -> SuiteResult:
+    """Run the whole suite (or the given workloads).
+
+    *sanitize* attaches a commit-trace sanitizer to every simulation and
+    fails fast on the first invariant violation.
+    """
     if workloads is None:
         workloads = build_suite(scale=scale)
     if profilers is None:
@@ -89,5 +101,6 @@ def run_suite(workloads: Optional[Sequence[Workload]] = None,
         if verbose:
             print(f"[suite] running {workload.name} ...", flush=True)
         results[workload.name] = run_workload(workload, profilers,
-                                              max_cycles)
+                                              max_cycles,
+                                              sanitize=sanitize)
     return SuiteResult(results)

@@ -141,6 +141,43 @@ class Instruction:
         return self._info.kind is Kind.RETURN
 
     @property
+    def is_jump(self) -> bool:
+        """Unconditional direct jump (``jal`` with a discarded link)."""
+        if self._info.kind is Kind.JUMP:
+            return True
+        return self._info.kind is Kind.CALL and (self.rd is None
+                                                 or self.rd == 0)
+
+    @property
+    def can_fall_through(self) -> bool:
+        """May execution continue at ``next_addr`` past this instruction?
+
+        True for straight-line code, conditional branches (not-taken
+        path) and calls (the callee eventually returns here); false for
+        unconditional jumps, returns, ``halt`` and ``sret``.
+        """
+        kind = self._info.kind
+        if kind in (Kind.HALT, Kind.SRET, Kind.JUMP):
+            return False
+        if kind is Kind.CALL:
+            return not self.is_jump
+        if kind is Kind.RETURN:
+            # ``jalr`` with a live link register is an indirect call and
+            # resumes here; ``jalr x0, ...`` is a return and does not.
+            return self.rd is not None and self.rd != 0
+        return True
+
+    def static_targets(self) -> Tuple[int, ...]:
+        """Statically-known control-transfer targets.
+
+        Branch and ``jal`` targets are label immediates resolved by the
+        assembler; indirect jumps (``jalr``) have none.
+        """
+        if self._info.kind in (Kind.BRANCH, Kind.JUMP, Kind.CALL):
+            return (self.imm,)
+        return ()
+
+    @property
     def is_serializing(self) -> bool:
         return self._info.serializing
 

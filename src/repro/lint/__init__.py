@@ -1,0 +1,32 @@
+"""Static program linter and dynamic commit-trace sanitizer.
+
+Two analysis layers over the same invariants the profilers depend on:
+
+* :mod:`repro.lint.cfg` + :mod:`repro.lint.rules` -- a control-flow
+  graph over :class:`~repro.isa.program.Program` text feeding rule-based
+  static checks (the Imagick flush-in-loop anti-pattern of Section 6,
+  unreachable code, fall-through off text, symbol overlaps, ...);
+* :mod:`repro.lint.sanitizer` -- a :class:`~repro.cpu.trace.TraceObserver`
+  that validates every cycle of the commit-stage trace against the
+  commit invariants (program order, commit width, flush-drain,
+  bank rotation) and fails fast with a cycle-numbered report.
+
+Entry points: :func:`lint_program`, :class:`TraceSanitizer`, and the
+CLI (``repro lint``, ``--sanitize``).
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph, Loop, build_cfg
+from .diagnostics import Diagnostic, Severity
+from .linter import Linter, LintReport, lint_program
+from .rules import (DEFAULT_RULES, LintContext, LintRule, RULES_BY_ID,
+                    STRUCTURAL_RULE_IDS)
+from .sanitizer import TraceInvariantError, TraceSanitizer, sanitize_trace
+
+__all__ = [
+    "BasicBlock", "ControlFlowGraph", "Loop", "build_cfg",
+    "Diagnostic", "Severity",
+    "Linter", "LintReport", "lint_program",
+    "DEFAULT_RULES", "LintContext", "LintRule", "RULES_BY_ID",
+    "STRUCTURAL_RULE_IDS",
+    "TraceInvariantError", "TraceSanitizer", "sanitize_trace",
+]

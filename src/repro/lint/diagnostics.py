@@ -1,0 +1,74 @@
+"""Structured lint diagnostics.
+
+Every linter rule and every sanitizer invariant emits
+:class:`Diagnostic` records: a stable rule id, a severity, the program
+location (address + function) or trace location (cycle), a message and
+an optional machine-applicable fix hint.  Rendering goes through the
+toolkit-wide :func:`repro.analysis.report.format_diag` helper so lint
+output, sanitizer reports and test assertions all share one format.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..analysis.report import format_diag
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered: ERROR > WARNING > INFO."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule id plus location, message and fix hint."""
+
+    rule: str
+    severity: Severity
+    message: str
+    addr: Optional[int] = None
+    function: Optional[str] = None
+    cycle: Optional[int] = None
+    fix_hint: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def render(self) -> str:
+        return format_diag(self.severity.value, self.rule, self.message,
+                           addr=self.addr, function=self.function,
+                           cycle=self.cycle, hint=self.fix_hint)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (for ``repro lint --json`` and CI)."""
+        out: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.addr is not None:
+            out["addr"] = f"{self.addr:#x}"
+        if self.function is not None:
+            out["function"] = self.function
+        if self.cycle is not None:
+            out["cycle"] = self.cycle
+        if self.fix_hint is not None:
+            out["fix_hint"] = self.fix_hint
+        return out
+
+    def __str__(self) -> str:
+        return self.render()

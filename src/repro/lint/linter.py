@@ -1,0 +1,78 @@
+"""The linter driver: run rules over a program, collect a report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..isa.program import Program
+from .cfg import build_cfg
+from .diagnostics import Diagnostic, Severity
+from .rules import (DEFAULT_RULES, LintContext, LintRule, RULES_BY_ID,
+                    STRUCTURAL_RULE_IDS)
+
+
+@dataclass
+class LintReport:
+    """All diagnostics the linter produced for one program."""
+
+    program_name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity diagnostics (warnings are allowed)."""
+        return not self.errors
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule_id]
+
+    def render(self, verbose: bool = True) -> str:
+        lines = [f"{self.program_name}: {len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        if verbose:
+            lines.extend(d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {"program": self.program_name,
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "diagnostics": [d.to_dict() for d in self.diagnostics]}
+
+
+class Linter:
+    """Runs a configurable rule set over programs."""
+
+    def __init__(self, rules: Optional[Sequence[LintRule]] = None):
+        self.rules: List[LintRule] = list(
+            DEFAULT_RULES if rules is None else rules)
+
+    @classmethod
+    def structural(cls) -> "Linter":
+        """Only the structural (error-severity) self-check rules."""
+        return cls([RULES_BY_ID[rid] for rid in STRUCTURAL_RULE_IDS])
+
+    def run(self, program: Program) -> LintReport:
+        ctx = LintContext(program, build_cfg(program))
+        report = LintReport(program.name)
+        for rule in self.rules:
+            report.diagnostics.extend(rule.check(ctx))
+        report.diagnostics.sort(
+            key=lambda d: (-d.severity.rank, d.addr or 0, d.rule))
+        return report
+
+
+def lint_program(program: Program,
+                 rules: Optional[Sequence[LintRule]] = None) -> LintReport:
+    """Lint *program* with the default (or a custom) rule set."""
+    return Linter(rules).run(program)

@@ -1,0 +1,322 @@
+"""Lint rules over the control-flow graph.
+
+Two severity classes, checked against different expectations:
+
+* **errors** are structural defects a generated or hand-written program
+  must never have (unreachable code, falling off the text segment,
+  overlapping function symbols) -- the workload generators self-check
+  against these;
+* **warnings** are performance anti-patterns the paper's case study is
+  built on (flush-inducing CSR accesses in hot code, Section 6) plus
+  code-quality smells (discarded writes to ``x0``, link-register
+  mismatches).
+
+Each rule has a stable id (``L001``..) used by tests, CI greps and the
+docs table in ``docs/lint.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..isa.instruction import Register
+from ..isa.opcodes import Kind
+from ..isa.program import FunctionSymbol, Program
+from .cfg import ControlFlowGraph
+from .diagnostics import Diagnostic, Severity
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult, computed once per program."""
+
+    program: Program
+    cfg: ControlFlowGraph
+
+    def function_name(self, addr: int) -> Optional[str]:
+        func = self.program.function_of(addr)
+        return func.name if func is not None else None
+
+
+class LintRule:
+    """Base class: subclasses set the metadata and implement check()."""
+
+    rule_id: str = "L000"
+    name: str = "rule"
+    severity: Severity = Severity.WARNING
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, message: str, *, addr: Optional[int] = None,
+             function: Optional[str] = None,
+             fix_hint: Optional[str] = None,
+             severity: Optional[Severity] = None) -> Diagnostic:
+        return Diagnostic(self.rule_id, severity or self.severity, message,
+                          addr=addr, function=function, fix_hint=fix_hint)
+
+
+class FlushInLoopRule(LintRule):
+    """The Imagick anti-pattern (paper Section 6).
+
+    A flush-on-commit instruction (``frflags``/``fsflags``/``csrrw``/
+    ``ecall``) inside a natural loop -- or in a function transitively
+    called from one -- flushes the whole pipeline every iteration.  The
+    paper's fix (replace the CSR pair with ``nop``) bought 1.93x on
+    Imagick.
+    """
+
+    rule_id = "L001"
+    name = "flush-in-loop"
+    severity = Severity.WARNING
+    description = ("pipeline-flushing instruction executed repeatedly "
+                   "(inside a loop or a function called from one)")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for block in ctx.cfg.blocks:
+            if block.index not in ctx.cfg.reachable:
+                continue
+            for inst in block.instructions:
+                if not inst.flushes_on_commit or inst.kind is Kind.SRET:
+                    continue
+                context = ctx.cfg.hot_context(inst.addr)
+                if context is None:
+                    continue
+                how, header = context
+                where = (f"inside the loop at {header:#x}"
+                         if how == "loop"
+                         else f"in a function called from the loop at "
+                              f"{header:#x}")
+                yield self.diag(
+                    f"{inst.op.value} flushes the pipeline on commit "
+                    f"{where}",
+                    addr=inst.addr, function=block.function,
+                    fix_hint=("replace with `nop` if the FP-status "
+                              "access is not required (paper Section 6: "
+                              "1.93x on Imagick)"))
+
+
+class SerializeInLoopRule(LintRule):
+    """Serializing instructions (fence/atomics) in hot code drain the ROB."""
+
+    rule_id = "L002"
+    name = "serialize-in-loop"
+    severity = Severity.WARNING
+    description = ("serializing instruction executed repeatedly; each one "
+                   "drains the ROB before dispatch and blocks until commit")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for block in ctx.cfg.blocks:
+            if block.index not in ctx.cfg.reachable:
+                continue
+            for inst in block.instructions:
+                if not inst.is_serializing:
+                    continue
+                context = ctx.cfg.hot_context(inst.addr)
+                if context is None:
+                    continue
+                how, header = context
+                where = ("inside" if how == "loop" else "reached from")
+                yield self.diag(
+                    f"{inst.op.value} serializes the pipeline, "
+                    f"{where} the loop at {header:#x}",
+                    addr=inst.addr, function=block.function,
+                    fix_hint="hoist it out of the loop if semantics allow")
+
+
+class UnreachableBlockRule(LintRule):
+    """Basic blocks no path from the entry point can execute."""
+
+    rule_id = "L003"
+    name = "unreachable-block"
+    severity = Severity.ERROR
+    description = "basic block unreachable from the program entry point"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for block in ctx.cfg.blocks:
+            if block.index in ctx.cfg.reachable:
+                continue
+            yield self.diag(
+                f"basic block {block.start:#x}..{block.end:#x} "
+                f"({len(block.instructions)} instructions) is unreachable "
+                f"from the entry point",
+                addr=block.start, function=block.function,
+                fix_hint="delete the dead code or add a path to it")
+
+
+class FallThroughOffTextRule(LintRule):
+    """Execution can run past the last instruction of the text segment."""
+
+    rule_id = "L004"
+    name = "fall-through-off-text"
+    severity = Severity.ERROR
+    description = ("a reachable path falls through the end of the text "
+                   "segment into unmapped memory")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for block in ctx.cfg.blocks:
+            if not block.falls_off or block.index not in ctx.cfg.reachable:
+                continue
+            if block.end in ctx.program:
+                continue  # falls into another function: L008's business
+            yield self.diag(
+                f"{block.terminator.op.value} at {block.terminator.addr:#x} "
+                f"can fall through past the end of the text segment "
+                f"({ctx.program.text_hi:#x})",
+                addr=block.terminator.addr, function=block.function,
+                fix_hint="end the path with halt, a jump or a return")
+
+
+class ZeroRegisterWriteRule(LintRule):
+    """Non-control writes to the hard-wired zero register are dead."""
+
+    rule_id = "L005"
+    name = "zero-register-write"
+    severity = Severity.WARNING
+    description = ("instruction writes x0; the result is silently "
+                   "discarded (x0 is hard-wired to zero)")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for block in ctx.cfg.blocks:
+            for inst in block.instructions:
+                if inst.rd != 0 or inst.rd is None:
+                    continue
+                # jalr x0 (return) and jal x0 (jump) discard the link on
+                # purpose; nop is the canonical x0 write.
+                if inst.is_control or inst.kind is Kind.NOP:
+                    continue
+                yield self.diag(
+                    f"{inst.op.value} writes {Register.name(0)}; the "
+                    f"result is discarded",
+                    addr=inst.addr, function=block.function,
+                    fix_hint="drop the instruction or pick a real "
+                             "destination register")
+
+
+class FunctionOverlapRule(LintRule):
+    """Function symbol ranges that overlap each other.
+
+    Overlaps make profile attribution ambiguous and are how
+    self-modifying or mis-linked images show up in the symbol table.
+    """
+
+    rule_id = "L006"
+    name = "function-overlap"
+    severity = Severity.ERROR
+    description = "two function symbols cover overlapping address ranges"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        funcs: List[FunctionSymbol] = ctx.program.functions  # sorted by lo
+        for prev, cur in zip(funcs, funcs[1:]):
+            if cur.lo < prev.hi:
+                yield self.diag(
+                    f"function {cur.name!r} [{cur.lo:#x}, {cur.hi:#x}) "
+                    f"overlaps {prev.name!r} [{prev.lo:#x}, {prev.hi:#x})",
+                    addr=cur.lo, function=cur.name,
+                    fix_hint="fix the symbol ranges so every address maps "
+                             "to exactly one function")
+
+
+class CallReturnMismatchRule(LintRule):
+    """Calls that cannot return to their call site.
+
+    Two shapes: a direct call into the *middle* of a function (the
+    callee's entry is bypassed), and a callee whose returns use a
+    different link register than the one the call wrote -- its ``jalr``
+    will jump through a stale register.
+    """
+
+    rule_id = "L007"
+    name = "call-return-mismatch"
+    severity = Severity.WARNING
+    description = ("call target is not a function entry, or the callee "
+                   "returns through a different link register")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        returns = self._returns_by_function(ctx)
+        for block in ctx.cfg.blocks:
+            if block.index not in ctx.cfg.reachable:
+                continue
+            term = block.terminator
+            if term.kind is not Kind.CALL or term.is_jump:
+                continue
+            target = term.imm
+            callee = ctx.program.function_of(target)
+            if callee is None:
+                continue
+            if target != callee.lo:
+                yield self.diag(
+                    f"{term.op.value} targets {target:#x}, the middle of "
+                    f"{callee.name!r} (entry {callee.lo:#x})",
+                    addr=term.addr, function=block.function,
+                    fix_hint=f"call {callee.name!r} at its entry point")
+                continue
+            link = term.rd
+            ret_regs = returns.get(callee.name)
+            if link is None or not ret_regs:
+                continue
+            if link not in ret_regs:
+                names = ", ".join(sorted(Register.name(r)
+                                         for r in ret_regs))
+                yield self.diag(
+                    f"call links through {Register.name(link)} but "
+                    f"{callee.name!r} returns through {names}",
+                    addr=term.addr, function=block.function,
+                    fix_hint=f"use the callee's link register or fix "
+                             f"the callee's return")
+
+    @staticmethod
+    def _returns_by_function(ctx: LintContext) -> Dict[str, set]:
+        """Function name -> set of link registers its returns read."""
+        out: Dict[str, set] = {}
+        for block in ctx.cfg.blocks:
+            term = block.terminator
+            if term.kind is Kind.RETURN and not term.can_fall_through \
+                    and term.sources:
+                out.setdefault(block.function, set()).add(term.sources[0])
+        return out
+
+
+class ImplicitFallThroughRule(LintRule):
+    """A reachable path runs off the end of one function into the next."""
+
+    rule_id = "L008"
+    name = "implicit-fall-through"
+    severity = Severity.WARNING
+    description = ("execution can fall off the end of a function into "
+                   "the one after it without an explicit transfer")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for block in ctx.cfg.blocks:
+            if not block.falls_off or block.index not in ctx.cfg.reachable:
+                continue
+            nxt = ctx.cfg.block_of(block.end)
+            if nxt is None:
+                continue  # off the text entirely: L004's business
+            yield self.diag(
+                f"{block.function!r} can fall through into "
+                f"{nxt.function!r} at {block.end:#x}",
+                addr=block.terminator.addr, function=block.function,
+                fix_hint="end the function with an explicit return or "
+                         "jump")
+
+
+#: The default rule line-up, in report order.
+DEFAULT_RULES: Tuple[LintRule, ...] = (
+    FlushInLoopRule(),
+    SerializeInLoopRule(),
+    UnreachableBlockRule(),
+    FallThroughOffTextRule(),
+    ZeroRegisterWriteRule(),
+    FunctionOverlapRule(),
+    CallReturnMismatchRule(),
+    ImplicitFallThroughRule(),
+)
+
+#: Rule id -> rule instance.
+RULES_BY_ID: Dict[str, LintRule] = {r.rule_id: r for r in DEFAULT_RULES}
+
+#: Structural rules every generated workload must pass (self-check set).
+STRUCTURAL_RULE_IDS: Tuple[str, ...] = ("L003", "L004", "L006")

@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..isa.assembler import assemble
 from ..isa.program import Program, TEXT_BASE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..lint.linter import LintReport
 
 
 @dataclass
@@ -35,6 +38,10 @@ class Kernel:
     premapped: List[Tuple[int, int]] = field(default_factory=list)
 
 
+class WorkloadLintError(ValueError):
+    """A generated workload failed the linter's structural self-check."""
+
+
 @dataclass
 class Workload:
     """A ready-to-run benchmark."""
@@ -44,8 +51,30 @@ class Workload:
     premapped: List[Tuple[int, int]]
     description: str = ""
 
+    def lint(self) -> "LintReport":
+        """Run the full linter over this workload's program."""
+        from ..lint.linter import lint_program
+        return lint_program(self.program)
+
     def __repr__(self) -> str:
         return f"<workload {self.name}: {len(self.program)} insts>"
+
+
+def self_check_program(program: Program) -> None:
+    """Raise :class:`WorkloadLintError` if *program* fails the
+    structural lint rules (unreachable blocks, fall-through off text,
+    overlapping function symbols).
+
+    Generators call this on every program they emit, so a kernel-emitter
+    bug shows up as a lint report at build time instead of a bogus
+    profile after minutes of simulation.
+    """
+    from ..lint.linter import Linter
+    report = Linter.structural().run(program)
+    if not report.ok:
+        raise WorkloadLintError(
+            f"generated program {program.name!r} failed the structural "
+            f"lint self-check:\n{report.render()}")
 
 
 def _ret(link: str = "x1") -> str:
@@ -346,8 +375,13 @@ def k_serialize(name: str, iters: int, base: int) -> Kernel:
 
 def build_workload(name: str, kernels: List[Kernel], rounds: int = 1,
                    description: str = "",
-                   base: int = TEXT_BASE) -> Workload:
-    """Link *kernels* under a round-robin ``main`` and assemble."""
+                   base: int = TEXT_BASE,
+                   self_check: bool = True) -> Workload:
+    """Link *kernels* under a round-robin ``main`` and assemble.
+
+    *self_check* (default) lints the assembled program against the
+    structural rules and raises :class:`WorkloadLintError` on failure.
+    """
     if not kernels:
         raise ValueError("a workload needs at least one kernel")
     lines = [".entry main", ".func main", "main:",
@@ -358,6 +392,8 @@ def build_workload(name: str, kernels: List[Kernel], rounds: int = 1,
               "    halt"]
     source = "\n".join(lines) + "\n" + "\n".join(k.text for k in kernels)
     program = assemble(source, base=base, name=name)
+    if self_check:
+        self_check_program(program)
     premapped: List[Tuple[int, int]] = []
     for kernel in kernels:
         program.data.update(kernel.data)

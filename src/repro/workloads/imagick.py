@@ -19,7 +19,7 @@ from typing import List, Tuple
 
 from ..isa.assembler import assemble
 from ..isa.program import Program, TEXT_BASE
-from .generator import Workload
+from .generator import Workload, self_check_program
 
 PIXEL_BASE = 0x20_0000
 PIXEL_WORDS = 4096
@@ -124,6 +124,7 @@ def build_imagick(optimized: bool = False, pixels: int = 1500,
     name = "imagick-opt" if optimized else "imagick-orig"
     program = assemble(_source(pixels, morph_iters, optimized),
                        base=TEXT_BASE, name=name)
+    self_check_program(program)
     rng = random.Random(seed)
     for i in range(PIXEL_WORDS):
         program.data[PIXEL_BASE + 8 * i] = rng.uniform(0.0, 100.0)

@@ -58,6 +58,105 @@ def test_requires_command():
         main([])
 
 
+def test_suite_unknown_benchmark_exits_2(capsys):
+    assert main(["suite", "gcc", "nosuchbench"]) == 2
+    err = capsys.readouterr().err
+    assert "nosuchbench" in err
+    assert "unknown benchmark" in err
+
+
+def test_stacks_unknown_benchmark_exits_2(capsys):
+    assert main(["stacks", "typo1", "typo2"]) == 2
+    err = capsys.readouterr().err
+    assert "typo1" in err and "typo2" in err
+
+
+def test_lint_file_warnings_only_exits_0(tmp_path, capsys):
+    source = tmp_path / "hot.s"
+    source.write_text("""
+.entry main
+.func main
+main:
+    addi x1, x0, 4
+loop:
+    frflags x7
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt
+""")
+    assert main(["lint", str(source)]) == 0
+    out = capsys.readouterr().out
+    assert "warning[L001]" in out
+    assert "hint: replace with `nop`" in out
+
+
+def test_lint_errors_exit_1(tmp_path, capsys):
+    source = tmp_path / "dead.s"
+    source.write_text("""
+.entry main
+.func main
+main:
+    jal  x0, out
+    addi x1, x1, 1
+out:
+    halt
+""")
+    assert main(["lint", str(source)]) == 1
+    assert "error[L003]" in capsys.readouterr().out
+
+
+def test_lint_directory_and_benchmark(tmp_path, capsys):
+    (tmp_path / "clean.s").write_text("""
+.entry main
+.func main
+main:
+    halt
+""")
+    assert main(["lint", str(tmp_path), "imagick-opt"]) == 0
+    out = capsys.readouterr().out
+    assert "clean.s: 0 error(s), 0 warning(s)" in out
+    assert "imagick-opt: 0 error(s), 0 warning(s)" in out
+
+
+def test_lint_bad_target_exits_2(capsys):
+    assert main(["lint", "no/such/file.s"]) == 2
+    assert "cannot lint" in capsys.readouterr().err
+
+
+def test_lint_json(capsys):
+    import json
+    assert main(["lint", "imagick-orig", "--json"]) == 0
+    reports = json.loads(capsys.readouterr().out)
+    assert reports[0]["program"] == "imagick-orig"
+    assert reports[0]["warnings"] == 4
+    assert {d["rule"] for d in reports[0]["diagnostics"]} == {"L001"}
+
+
+def test_profile_sanitize(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+.func main
+    addi x1, x0, 0
+    addi x2, x0, 200
+loop:
+    addi x1, x1, 1
+    bne  x1, x2, loop
+    halt
+""")
+    assert main(["profile", str(source), "--period", "7",
+                 "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "sanitizer:" in out and "clean" in out
+
+
+def test_suite_sanitize(capsys):
+    assert main(["suite", "exchange2", "--scale", "0.05",
+                 "--period", "29", "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "exchange2: sanitizer:" in out
+    assert "clean" in out
+
+
 def test_record_and_replay_commands(tmp_path, capsys):
     source = tmp_path / "prog.s"
     source.write_text("""
@@ -71,13 +170,17 @@ loop:
     halt
 """)
     trace = tmp_path / "run.tiptrace"
-    assert main(["record", str(source), "-o", str(trace)]) == 0
+    assert main(["record", str(source), "-o", str(trace),
+                 "--sanitize"]) == 0
     out = capsys.readouterr().out
     assert "recorded" in out
+    assert "sanitizer:" in out and "clean" in out
     assert trace.stat().st_size > 100
 
     assert main(["replay", str(trace), str(source),
-                 "--policy", "TIP", "--period", "11"]) == 0
+                 "--policy", "TIP", "--period", "11",
+                 "--sanitize"]) == 0
     out = capsys.readouterr().out
     assert "replayed" in out
     assert "error" in out
+    assert "sanitizer:" in out and "clean" in out

@@ -1,0 +1,150 @@
+"""Control-flow graph construction tests (repro.lint.cfg)."""
+
+from repro.isa.assembler import assemble
+from repro.lint import build_cfg
+
+LOOP_CALL = """
+.entry main
+.func main
+main:
+    addi x1, x0, 0
+    addi x2, x0, 10
+loop:
+    jal  x5, helper
+    addi x1, x1, 1
+    bne  x1, x2, loop
+    halt
+
+.func helper
+helper:
+    addi x3, x3, 1
+    jalr x0, x5, 0
+"""
+
+DIAMOND = """
+.entry main
+.func main
+main:
+    addi x1, x0, 1
+    bne  x1, x0, right
+    addi x2, x0, 2
+    jal  x0, join
+right:
+    addi x3, x0, 3
+join:
+    halt
+"""
+
+
+def _cfg(source):
+    program = assemble(source, name="cfg-test")
+    return program, build_cfg(program)
+
+
+def test_blocks_split_at_leaders():
+    program, cfg = _cfg(LOOP_CALL)
+    starts = {b.start for b in cfg.blocks}
+    # Leaders: entry, the branch target `loop`, the instruction after
+    # each control transfer, and the `helper` function entry.
+    assert program.entry in starts
+    assert program.labels["loop"] in starts
+    assert program.labels["helper"] in starts
+    assert cfg.functions.keys() == {"main", "helper"}
+
+
+def test_edges_follow_branch_semantics():
+    program, cfg = _cfg(LOOP_CALL)
+    call_block = cfg.block_of(program.labels["loop"])
+    # `jal x5` is a call: records the callee, falls through to the
+    # return site instead of linking an intra-function edge to it.
+    assert call_block.call_targets == [program.labels["helper"]]
+    assert len(call_block.successors) == 1
+
+    branch_block = cfg.blocks[call_block.successors[0]]
+    assert branch_block.terminator.op.value == "bne"
+    # Conditional branch: taken edge back to the header + fall-through.
+    assert set(branch_block.successors) == {
+        call_block.index, branch_block.index + 1}
+
+    ret_block = cfg.block_of(program.labels["helper"])
+    assert ret_block.successors == []  # jalr x0 is a return
+    assert not ret_block.falls_off
+
+
+def test_predecessors_mirror_successors():
+    _program, cfg = _cfg(LOOP_CALL)
+    for block in cfg.blocks:
+        for succ in block.successors:
+            assert block.index in cfg.blocks[succ].predecessors
+
+
+def test_reachability_crosses_calls():
+    _program, cfg = _cfg(LOOP_CALL)
+    assert cfg.reachable == set(range(len(cfg.blocks)))
+
+
+def test_unreachable_block_detected():
+    program, cfg = _cfg("""
+.entry main
+.func main
+main:
+    jal  x0, out
+    addi x1, x1, 1
+out:
+    halt
+""")
+    dead = cfg.block_of(program.entry + 4)
+    assert dead.index not in cfg.reachable
+    assert cfg.block_of(program.labels["out"]).index in cfg.reachable
+
+
+def test_natural_loop_and_body():
+    program, cfg = _cfg(LOOP_CALL)
+    assert len(cfg.loops) == 1
+    loop = cfg.loops[0]
+    header = cfg.block_index_of(program.labels["loop"])
+    assert loop.function == "main"
+    assert loop.header == header
+    assert header in loop
+    # Body: the call block and the increment/branch block; not the
+    # preamble, not the halt.
+    assert cfg.block_index_of(program.entry) not in loop.body
+    assert len(loop.body) == 2
+
+
+def test_dominators_diamond():
+    program, cfg = _cfg(DIAMOND)
+    dom = cfg.dominators("main")
+    entry = cfg.block_index_of(program.entry)
+    right = cfg.block_index_of(program.labels["right"])
+    join = cfg.block_index_of(program.labels["join"])
+    assert dom[entry] == {entry}
+    # Neither arm dominates the join; only the entry (and itself) do.
+    assert dom[join] == {entry, join}
+    assert dom[right] == {entry, right}
+
+
+def test_loop_called_functions_transitive():
+    program, cfg = _cfg(LOOP_CALL)
+    header_addr = program.labels["loop"]
+    assert cfg.loop_called == {"helper": header_addr}
+
+
+def test_hot_context():
+    program, cfg = _cfg(LOOP_CALL)
+    header_addr = program.labels["loop"]
+    # Inside the loop body itself.
+    assert cfg.hot_context(header_addr) == ("loop", header_addr)
+    # Inside a function called from the loop (the Imagick shape).
+    assert cfg.hot_context(program.labels["helper"]) == \
+        ("called-from-loop", header_addr)
+    # The preamble runs once.
+    assert cfg.hot_context(program.entry) is None
+
+
+def test_block_lookup_boundaries():
+    program, cfg = _cfg(LOOP_CALL)
+    assert cfg.block_index_of(program.entry) is not None
+    assert cfg.block_index_of(program.entry + 2) is None  # unaligned
+    assert cfg.block_index_of(program.text_hi) is None  # off the end
+    assert cfg.block_of(0) is None

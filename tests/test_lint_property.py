@@ -1,0 +1,106 @@
+"""Property-style checks: every generated workload is lint- and
+sanitizer-clean.
+
+The generators self-check against the structural rules at build time
+(``build_workload(self_check=True)``); these tests assert the stronger
+full-suite properties and that the self-check actually rejects broken
+programs.
+"""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.isa.assembler import assemble
+from repro.lint import STRUCTURAL_RULE_IDS, TraceSanitizer, lint_program
+from repro.workloads.generator import (WorkloadLintError,
+                                       self_check_program)
+from repro.workloads.imagick import build_imagick
+from repro.workloads.suite import BENCHMARKS, build_suite
+
+SUITE = build_suite(scale=0.05)
+
+#: One benchmark per paper class plus the trickier trace shapes
+#: (CSR flushes, page faults, serialization).
+SIMULATED = ("exchange2", "imagick", "gcc", "mcf", "canneal",
+             "xalancbmk")
+
+
+@pytest.mark.parametrize("workload", SUITE, ids=lambda w: w.name)
+def test_suite_workload_structurally_clean(workload):
+    report = lint_program(workload.program)
+    for rule_id in STRUCTURAL_RULE_IDS:
+        assert report.by_rule(rule_id) == [], report.render()
+    assert report.ok
+
+
+def test_suite_covers_every_benchmark():
+    assert [w.name for w in SUITE] == BENCHMARKS
+
+
+@pytest.mark.parametrize("optimized", [False, True],
+                         ids=["orig", "opt"])
+def test_imagick_structurally_clean(optimized):
+    workload = build_imagick(optimized=optimized, pixels=50,
+                             morph_iters=60)
+    assert lint_program(workload.program).ok
+
+
+@pytest.mark.parametrize("name", SIMULATED)
+def test_suite_workload_sanitizes_clean(name):
+    workload, = build_suite([name], scale=0.05)
+    machine = Machine(workload.program,
+                      premapped_data=workload.premapped)
+    sanitizer = TraceSanitizer.for_machine(machine)
+    machine.attach(sanitizer)
+    machine.run(2_000_000)
+    assert sanitizer.ok, sanitizer.report()
+    assert sanitizer.cycles_checked > 0
+
+
+def test_imagick_sanitizes_clean():
+    workload = build_imagick(pixels=40, morph_iters=50)
+    machine = Machine(workload.program,
+                      premapped_data=workload.premapped)
+    sanitizer = TraceSanitizer.for_machine(machine)
+    machine.attach(sanitizer)
+    machine.run(2_000_000)
+    assert sanitizer.ok, sanitizer.report()
+
+
+def test_self_check_rejects_broken_program():
+    broken = assemble("""
+.entry main
+.func main
+main:
+    jal  x0, out
+    addi x1, x1, 1
+out:
+    halt
+""", name="broken")
+    with pytest.raises(WorkloadLintError) as excinfo:
+        self_check_program(broken)
+    assert "L003" in str(excinfo.value)
+
+
+def test_self_check_allows_warnings():
+    # The Imagick anti-pattern is a warning, not a structural error:
+    # the whole point is that such programs build and run.
+    warned = assemble("""
+.entry main
+.func main
+main:
+    addi x1, x0, 4
+loop:
+    frflags x7
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt
+""", name="warned")
+    self_check_program(warned)  # must not raise
+
+
+def test_workload_lint_method():
+    workload = build_imagick(pixels=40, morph_iters=50)
+    report = workload.lint()
+    assert report.ok
+    assert len(report.by_rule("L001")) == 4

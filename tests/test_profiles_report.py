@@ -5,7 +5,8 @@ import pytest
 from repro.analysis.cyclestacks import CycleStack
 from repro.analysis.profiles import (build_profile, normalize,
                                      oracle_profile, top_symbols)
-from repro.analysis.report import (render_cycle_stack, render_error_table,
+from repro.analysis.report import (format_diag, render_cycle_stack,
+                                   render_error_table,
                                    render_profile_table,
                                    render_stacks_table)
 from repro.analysis.symbols import Granularity, Symbolizer
@@ -99,3 +100,31 @@ def test_render_empty_tables():
     assert "(empty)" in render_profile_table({})
     assert "(empty)" in render_error_table({})
     assert "(empty)" in render_stacks_table({})
+
+
+def test_format_diag_minimal():
+    assert format_diag("warning", "L001", "boom") == "warning[L001]: boom"
+
+
+def test_format_diag_full_location():
+    text = format_diag("error", "S003", "out of order",
+                       addr=0x10004, function="main", cycle=12)
+    assert text == "error[S003] cycle 12 @0x10004 (main): out of order"
+
+
+def test_format_diag_hint_indented():
+    text = format_diag("warning", "L001", "flush", addr=0x10050,
+                       hint="replace with `nop`")
+    first, second = text.split("\n")
+    assert first == "warning[L001] @0x10050: flush"
+    assert second == "    hint: replace with `nop`"
+
+
+def test_format_diag_is_shared_renderer():
+    """Lint diagnostics and sanitizer reports go through format_diag."""
+    from repro.lint import Diagnostic, Severity
+    diag = Diagnostic("L005", Severity.WARNING, "dead write",
+                      addr=0x10008, function="f", fix_hint="drop it")
+    assert diag.render() == format_diag("warning", "L005", "dead write",
+                                        addr=0x10008, function="f",
+                                        hint="drop it")
