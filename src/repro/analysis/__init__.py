@@ -6,7 +6,8 @@ from .cyclestacks import (CLASS_COMPUTE, CLASS_FLUSH, CLASS_STALL,
 from .diff import ProfileDiff, SymbolDelta, diff_profiles, render_diff
 from .error import (all_granularity_errors, error_reduction, overlap,
                     per_sample_error, profile_error)
-from .profiles import build_profile, normalize, oracle_profile, top_symbols
+from .profiles import (build_profile, normalize, oracle_profile,
+                       profile_checksum, top_symbols)
 from .report import (render_cycle_stack, render_error_table,
                      render_profile_table, render_stacks_table)
 from .symbols import (Granularity, OFF_TEXT, Symbolizer, UNKNOWN_FUNCTION)
@@ -17,7 +18,8 @@ __all__ = [
     "ProfileDiff", "SymbolDelta", "diff_profiles", "render_diff",
     "all_granularity_errors", "error_reduction", "overlap",
     "per_sample_error", "profile_error",
-    "build_profile", "normalize", "oracle_profile", "top_symbols",
+    "build_profile", "normalize", "oracle_profile", "profile_checksum",
+    "top_symbols",
     "render_cycle_stack", "render_error_table", "render_profile_table",
     "render_stacks_table",
     "Granularity", "OFF_TEXT", "Symbolizer", "UNKNOWN_FUNCTION",

@@ -7,6 +7,7 @@ are normalised by total time so they can be compared across profilers.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Hashable, Iterable, List, Tuple
 
 from ..core.oracle import OracleReport
@@ -41,6 +42,24 @@ def normalize(profile: Dict[Hashable, float]) -> Dict[Hashable, float]:
     if not total:
         return {}
     return {sym: value / total for sym, value in profile.items()}
+
+
+def profile_checksum(samples: Iterable[Sample]) -> str:
+    """Stable hex digest of a profiler's raw sample stream.
+
+    Covers cycle, interval, category and the exact attribution weights
+    (via ``repr``, which round-trips floats), so two sample lists hash
+    equal iff they are bit-identical.  Used to assert sharded replay
+    equals serial replay (CI's parallel-replay job).
+    """
+    digest = hashlib.sha256()
+    for sample in samples:
+        category = None if sample.category is None \
+            else sample.category.value
+        digest.update(repr((sample.cycle, sample.interval,
+                            tuple(sample.weights),
+                            category)).encode())
+    return digest.hexdigest()
 
 
 def top_symbols(profile: Dict[Hashable, float],

@@ -13,15 +13,23 @@ Commands
 ``overhead``
     Print the Section 3.2 overhead summary.
 ``record FILE.s -o trace.bin``
-    Simulate once and serialize the commit-stage trace.
+    Simulate once and serialize the commit-stage trace (chunk-indexed
+    v2 by default; ``--format v1`` for the legacy flat stream).
 ``replay trace.bin FILE.s``
-    Re-profile a recorded trace without re-simulating.
+    Re-profile a recorded trace without re-simulating; ``--jobs N``
+    shards a v2 trace over worker processes (bit-identical results).
+``convert-trace trace.bin -o trace2.bin``
+    Re-encode a v1 trace in the chunk-indexed v2 format.
+``bench``
+    Time the simulate/record/replay/suite pipeline and write
+    ``BENCH_pipeline.json``.
 ``lint TARGET...``
     Statically lint assembly files, directories or benchmark names.
 
 ``profile``, ``suite``, ``record`` and ``replay`` accept ``--sanitize``
 to validate the commit-stage trace against the commit invariants while
 it is produced (or replayed), failing fast on the first violation.
+``suite --jobs N`` simulates benchmarks on N worker processes.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from typing import List, Optional
 from .analysis import (Granularity, render_error_table,
                        render_profile_table, render_stacks_table)
 from .core.overhead import summarize
+from .cpu.tracefile import DEFAULT_CHUNK_CYCLES
 from .cpu.config import CoreConfig
 from .harness import default_profilers, run_experiment, run_suite, \
     run_workload
@@ -102,7 +111,9 @@ def cmd_suite(args) -> int:
     names = args.benchmarks or None
     workloads = build_suite(names, scale=args.scale)
     suite = run_suite(workloads, profilers=_profilers(args),
-                      verbose=True, sanitize=args.sanitize)
+                      scale=args.scale, verbose=True,
+                      sanitize=args.sanitize, jobs=args.jobs,
+                      timeout=args.timeout, retries=args.retries)
     for granularity in Granularity:
         table = suite.errors(granularity)
         print()
@@ -112,6 +123,11 @@ def cmd_suite(args) -> int:
         print()
         for name, summary in suite.sanitizer_summaries().items():
             print(f"{name}: {summary}")
+    if suite.failures:
+        print()
+        for failure in suite.failures.values():
+            print(f"FAILED {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -141,7 +157,7 @@ def cmd_imagick(args) -> int:
 
 
 def cmd_record(args) -> int:
-    from .cpu import Machine, TraceWriter
+    from .cpu import Machine, TraceWriter, TraceWriterV2
     with open(args.file) as handle:
         program = assemble(handle.read(), name=args.file)
     premapped = [(0, 1 << 28)] if args.map_all else None
@@ -152,50 +168,75 @@ def cmd_record(args) -> int:
         sanitizer = TraceSanitizer.for_machine(machine)
         machine.attach(sanitizer)
     with open(args.output, "wb") as out:
-        machine.attach(TraceWriter(out, machine.config.rob_banks))
+        if args.format == "v1":
+            machine.attach(TraceWriter(out, machine.config.rob_banks))
+        else:
+            machine.attach(TraceWriterV2(
+                out, machine.config.rob_banks,
+                chunk_cycles=args.chunk_cycles,
+                compress=args.compress))
         stats = machine.run()
     print(f"recorded {stats.cycles} cycles "
-          f"({stats.committed} instructions) to {args.output}")
+          f"({stats.committed} instructions) to {args.output} "
+          f"[{args.format}]")
     if sanitizer is not None:
         print(sanitizer.summary())
     return 0
 
 
 def cmd_replay(args) -> int:
-    from .analysis import Symbolizer, profile_error
-    from .core import OracleProfiler, SampleSchedule
-    from .cpu import replay_trace
-    from .harness.experiment import POLICIES
-    with open(args.program) as handle:
-        program = assemble(handle.read(), name=args.program)
+    from .analysis import profile_error
+    from .harness import ProfilerConfig, replay_experiment
     from .kernel import Kernel
+    from .parallel import ProgramSpec
+    with open(args.program) as handle:
+        source = handle.read()
+    program = assemble(source, name=args.program)
     image = Kernel().boot(program)
-    schedule = SampleSchedule(args.period)
-    profiler = POLICIES[args.policy](schedule, image)
-    oracle = OracleProfiler(image,
-                            watch_schedules=[SampleSchedule(args.period)])
-    observers = [oracle, profiler]
-    sanitizer = None
-    if args.sanitize:
-        from .lint import TraceSanitizer
-        sanitizer = TraceSanitizer(program=image)
-        observers.append(sanitizer)
-    cycles = replay_trace(args.trace, *observers)
-    oracle.report.total_cycles = cycles
+    mode = "random" if args.random else "periodic"
+    configs = [ProfilerConfig(args.policy, args.period, mode)]
+    spec = ProgramSpec(kind="asm", source=source, name=args.program)
+    result = replay_experiment(args.trace, image, configs,
+                               sanitize=args.sanitize, jobs=args.jobs,
+                               spec=spec)
+    outcome = result.replay
+    profiler = result.profilers[args.policy]
     granularity = Granularity(args.granularity)
-    profiles = {"Oracle": dict(sorted(
-        oracle.report.normalized_profile().items()))}
-    symbolizer = Symbolizer(image)
-    from .analysis import build_profile, normalize
-    profiles[args.policy] = normalize(build_profile(
-        profiler.samples, symbolizer, granularity))
-    error = profile_error(profiler, oracle.report, symbolizer,
+    error = profile_error(profiler, result.oracle, result.symbolizer,
                           granularity)
-    print(f"replayed {cycles} cycles, {len(profiler.samples)} samples")
+    print(f"replayed {outcome.cycles} cycles, "
+          f"{len(profiler.samples)} samples "
+          f"({outcome.mode}, {outcome.shards} shard(s))")
+    if outcome.fallback_reason:
+        print(f"note: serial fallback: {outcome.fallback_reason}")
     print(f"{args.policy} {granularity.value}-level error: {error:.2%}")
-    if sanitizer is not None:
-        print(sanitizer.summary())
+    if result.sanitizer is not None:
+        print(result.sanitizer.summary())
     return 0
+
+
+def cmd_convert_trace(args) -> int:
+    from .cpu import convert_v1_to_v2
+    records = convert_v1_to_v2(args.trace, args.output,
+                               chunk_cycles=args.chunk_cycles,
+                               compress=args.compress)
+    print(f"converted {records} records to {args.output} [v2]")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .parallel import render_bench, run_bench
+    benchmarks = args.benchmarks or None
+    if _reject_unknown_benchmarks(benchmarks):
+        return 2
+    from .parallel.bench import DEFAULT_BENCHMARKS
+    result = run_bench(output=args.output,
+                       benchmarks=benchmarks or DEFAULT_BENCHMARKS,
+                       scale=args.scale, jobs=args.jobs,
+                       chunk_cycles=args.chunk_cycles,
+                       compress=args.compress, verbose=True)
+    print(render_bench(result))
+    return 0 if result["checksums_equal"] else 1
 
 
 def _lint_targets(targets: List[str]):
@@ -284,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
     suite = sub.add_parser("suite", help="run the benchmark suite")
     suite.add_argument("benchmarks", nargs="*")
     suite.add_argument("--scale", type=float, default=0.5)
+    suite.add_argument("--jobs", type=int, default=1,
+                       help="simulate benchmarks on N worker processes")
+    suite.add_argument("--timeout", type=float, default=None,
+                       help="per-benchmark wall-clock budget (seconds)")
+    suite.add_argument("--retries", type=int, default=1,
+                       help="extra attempts for a failed worker")
     _add_common(suite)
     _add_sanitize(suite)
     suite.set_defaults(func=cmd_suite)
@@ -306,6 +353,14 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("file")
     record.add_argument("-o", "--output", default="trace.tiptrace")
     record.add_argument("--map-all", action="store_true")
+    record.add_argument("--format", default="v2", choices=["v1", "v2"],
+                        help="trace format (v2 is chunk-indexed and "
+                             "supports sharded replay; default)")
+    record.add_argument("--chunk-cycles", type=int,
+                        default=DEFAULT_CHUNK_CYCLES,
+                        help="records per v2 chunk")
+    record.add_argument("--compress", action="store_true",
+                        help="zlib-compress v2 chunk payloads")
     _add_sanitize(record)
     record.set_defaults(func=cmd_record)
 
@@ -317,9 +372,33 @@ def build_parser() -> argparse.ArgumentParser:
                                  "NCI+ILP", "TIP-ILP", "TIP"])
     replay.add_argument("--granularity", default="instruction",
                         choices=[g.value for g in Granularity])
+    replay.add_argument("--jobs", type=int, default=1,
+                        help="shard the replay over N worker processes "
+                             "(v2 traces; bit-identical to serial)")
     _add_common(replay)
     _add_sanitize(replay)
     replay.set_defaults(func=cmd_replay)
+
+    convert = sub.add_parser(
+        "convert-trace", help="re-encode a v1 trace as chunk-indexed v2")
+    convert.add_argument("trace")
+    convert.add_argument("-o", "--output", required=True)
+    convert.add_argument("--chunk-cycles", type=int,
+                         default=DEFAULT_CHUNK_CYCLES)
+    convert.add_argument("--compress", action="store_true")
+    convert.set_defaults(func=cmd_convert_trace)
+
+    bench = sub.add_parser(
+        "bench", help="time the simulate/record/replay/suite pipeline")
+    bench.add_argument("benchmarks", nargs="*")
+    bench.add_argument("-o", "--output", default="BENCH_pipeline.json")
+    bench.add_argument("--scale", type=float, default=0.2)
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: CPU count)")
+    bench.add_argument("--chunk-cycles", type=int,
+                       default=DEFAULT_CHUNK_CYCLES)
+    bench.add_argument("--compress", action="store_true")
+    bench.set_defaults(func=cmd_bench)
 
     lint = sub.add_parser(
         "lint", help="statically lint programs",

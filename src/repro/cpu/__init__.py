@@ -7,7 +7,10 @@ from .core import Core, CoreStats, SimulationError
 from .machine import Machine
 from .trace import (CommittedInst, CycleRecord, HeadEntry, TraceCollector,
                     TraceObserver, replay)
-from .tracefile import TraceWriter, read_trace, replay_trace
+from .tracefile import (ChunkCarry, ChunkInfo, DEFAULT_CHUNK_CYCLES,
+                        TraceIndex, TraceWriter, TraceWriterV2,
+                        convert_v1_to_v2, read_chunk, read_index,
+                        read_trace, replay_trace)
 from .uop import MicroOp
 
 __all__ = [
@@ -15,5 +18,7 @@ __all__ = [
     "TagePredictor", "CoreConfig", "Core", "CoreStats", "SimulationError",
     "Machine", "CommittedInst", "CycleRecord", "HeadEntry",
     "TraceCollector", "TraceObserver", "replay", "MicroOp",
-    "TraceWriter", "read_trace", "replay_trace",
+    "ChunkCarry", "ChunkInfo", "DEFAULT_CHUNK_CYCLES", "TraceIndex",
+    "TraceWriter", "TraceWriterV2", "convert_v1_to_v2", "read_chunk",
+    "read_index", "read_trace", "replay_trace",
 ]

@@ -3,12 +3,14 @@
 The paper's methodology streams a per-cycle trace out of FireSim and
 processes it on the CPU side; re-running a new profiler configuration
 does not require re-simulating.  This module provides the same record/
-replay split for our simulator: :class:`TraceWriter` is a trace observer
-that encodes every :class:`~repro.cpu.trace.CycleRecord` into a compact
-binary stream, and :func:`read_trace` / :func:`replay_trace` reconstruct
-the records and drive any set of observers over them.
+replay split for our simulator: :class:`TraceWriter` (format v1) and
+:class:`TraceWriterV2` are trace observers that encode every
+:class:`~repro.cpu.trace.CycleRecord` into a compact binary stream, and
+:func:`read_trace` / :func:`replay_trace` reconstruct the records and
+drive any set of observers over them.  :func:`read_trace` dispatches on
+the version byte in the magic, so both formats replay transparently.
 
-Format (little-endian), one record per cycle:
+Per-record encoding (shared by both formats, little-endian):
 
 * header byte: bit0 rob_empty, bit1 has_exception, bit2 ordering,
   bit3 has_dispatch_pc, bit4 has_rob_head;
@@ -20,23 +22,55 @@ Format (little-endian), one record per cycle:
   flushes<<7);
 * per dispatched entry: u64 addr.
 
-Cycle numbers are implicit (records are dense from cycle 0), which is
-what keeps the format compact.  A small file header records magic,
-version and the ROB bank count.
+Cycle numbers are implicit (records are dense), which is what keeps the
+format compact.
+
+Format v1 (``TIPTRC01``) is a flat stream: magic, banks byte, then one
+record per cycle from cycle 0.
+
+Format v2 (``TIPTRC02``) is *chunk-indexed* so a trace can be replayed
+out-of-band by parallel workers (see :mod:`repro.parallel`):
+
+* file header: magic, u8 banks, u8 flags (bit0: zlib-compressed
+  payloads), u32 chunk_cycles (records per full chunk);
+* a sequence of chunks, each ``CHUNK_HEADER`` (start cycle, record
+  count, payload sizes, carried machine state) followed by the encoded
+  records of ``chunk_cycles`` consecutive cycles (optionally zlib).
+
+The carried state (:class:`ChunkCarry`) is everything a profiler needs
+to *cold-start* at a chunk boundary exactly as if it had consumed the
+whole prefix: the Offending Instruction Register mirror (address, flag,
+flush kind), the last committed address, and whether the previous cycle
+flushed (for the sanitizer's drain check).  All of it is derivable from
+the trace prefix, so it is computed once at record time.
+
+:func:`convert_v1_to_v2` upgrades existing v1 traces losslessly.
 """
 
 from __future__ import annotations
 
 import io
 import struct
-from typing import BinaryIO, Iterable, Iterator, List, Optional, Union
+import zlib
+from dataclasses import dataclass
+from typing import (BinaryIO, Iterator, List, Optional, Tuple,
+                    Union)
 
 from .trace import CommittedInst, CycleRecord, HeadEntry, TraceObserver
 
 MAGIC = b"TIPTRC01"
+MAGIC_V2 = b"TIPTRC02"
+
+#: Records per chunk in format v2 (one record per cycle).
+DEFAULT_CHUNK_CYCLES = 4096
 
 _U64 = struct.Struct("<Q")
 _HDR = struct.Struct("<BBB")
+#: v2 file header after the magic: banks, flags, chunk_cycles.
+_FILE_HDR_V2 = struct.Struct("<BBI")
+#: v2 chunk header: start_cycle, n_records, payload bytes, raw bytes,
+#: carry flags, oir_flag, oir_kind, oir_addr, last_committed.
+_CHUNK_HDR = struct.Struct("<QIIIBBBQQ")
 
 _F_EMPTY = 1 << 0
 _F_EXC = 1 << 1
@@ -44,9 +78,190 @@ _F_ORD = 1 << 2
 _F_DISP_PC = 1 << 3
 _F_HEAD = 1 << 4
 
+#: v2 file-header flags.
+_FILE_F_ZLIB = 1 << 0
+
+#: Carry flags.
+_C_HAS_OIR = 1 << 0
+_C_HAS_LAST = 1 << 1
+_C_DRAIN = 1 << 2
+
+#: OIR flag values carried per chunk (mirror the profilers' OIR flags).
+OIR_NONE = 0
+OIR_MISPREDICT = 1
+OIR_FLUSH = 2
+OIR_EXCEPTION = 3
+
+#: OIR flush-kind codes (0 = none); map to
+#: :class:`repro.core.samples.FlushKind` on the profiler side.
+KIND_NONE = 0
+KIND_MISPREDICT = 1
+KIND_CSR = 2
+KIND_EXCEPTION = 3
+KIND_ORDERING = 4
+
+
+@dataclass
+class ChunkCarry:
+    """Machine state carried into a chunk boundary.
+
+    Restoring this state lets any profiler start consuming records at
+    the chunk's first cycle with bit-identical behaviour to a serial
+    replay of the whole prefix.
+    """
+
+    #: OIR mirror: youngest committing/excepting instruction address.
+    oir_addr: Optional[int] = None
+    #: OIR flag (``OIR_*``).
+    oir_flag: int = OIR_NONE
+    #: OIR flush kind (``KIND_*``).
+    oir_kind: int = KIND_NONE
+    #: Address of the last committed instruction (LCI state).
+    last_committed: Optional[int] = None
+    #: The record before the boundary flushed or excepted (the next
+    #: cycle must commit nothing -- sanitizer invariant S005/S006).
+    drain_pending: bool = False
+
+    def update(self, record: CycleRecord) -> None:
+        """Advance the carry past *record* (the OIR update unit)."""
+        if record.committed:
+            youngest = record.committed[-1]
+            self.last_committed = youngest.addr
+            self.oir_addr = youngest.addr
+            if youngest.mispredicted:
+                self.oir_flag = OIR_MISPREDICT
+                self.oir_kind = KIND_MISPREDICT
+            elif youngest.flushes:
+                self.oir_flag = OIR_FLUSH
+                self.oir_kind = KIND_CSR
+            else:
+                self.oir_flag = OIR_NONE
+                self.oir_kind = KIND_NONE
+        if record.exception is not None:
+            self.oir_addr = record.exception
+            self.oir_flag = OIR_EXCEPTION
+            self.oir_kind = (KIND_ORDERING if record.exception_is_ordering
+                             else KIND_EXCEPTION)
+        self.drain_pending = (record.exception is not None
+                              or any(c.flushes for c in record.committed))
+
+    def copy(self) -> "ChunkCarry":
+        return ChunkCarry(self.oir_addr, self.oir_flag, self.oir_kind,
+                          self.last_committed, self.drain_pending)
+
+
+@dataclass
+class ChunkInfo:
+    """Location and metadata of one v2 chunk."""
+
+    start_cycle: int
+    n_records: int
+    #: File offset of the chunk payload (past the chunk header).
+    offset: int
+    payload_bytes: int
+    raw_bytes: int
+    carry: ChunkCarry
+
+
+@dataclass
+class TraceIndex:
+    """File-level metadata and the chunk directory of a v2 trace."""
+
+    banks: int
+    compressed: bool
+    chunk_cycles: int
+    chunks: List[ChunkInfo]
+
+    @property
+    def total_records(self) -> int:
+        return sum(chunk.n_records for chunk in self.chunks)
+
+
+# -- per-record encoding (shared) ----------------------------------------------
+
+
+def _encode_record(record: CycleRecord) -> bytes:
+    flags = 0
+    if record.rob_empty:
+        flags |= _F_EMPTY
+    if record.exception is not None:
+        flags |= _F_EXC
+    if record.exception_is_ordering:
+        flags |= _F_ORD
+    if record.dispatch_pc is not None:
+        flags |= _F_DISP_PC
+    if record.rob_head is not None:
+        flags |= _F_HEAD
+    counts = (len(record.committed) & 0xF) | \
+        ((len(record.dispatched) & 0xF) << 4)
+    parts = [_HDR.pack(flags, counts, record.oldest_bank),
+             _U64.pack(record.fetch_pc)]
+    if record.rob_head is not None:
+        parts.append(_U64.pack(record.rob_head))
+    if record.exception is not None:
+        parts.append(_U64.pack(record.exception))
+    if record.dispatch_pc is not None:
+        parts.append(_U64.pack(record.dispatch_pc))
+    for commit in record.committed:
+        parts.append(_U64.pack(commit.addr))
+        parts.append(struct.pack(
+            "<B", (commit.bank & 0x3F)
+            | (0x40 if commit.mispredicted else 0)
+            | (0x80 if commit.flushes else 0)))
+    for addr in record.dispatched:
+        parts.append(_U64.pack(addr))
+    return b"".join(parts)
+
+
+def _decode_record(buf: bytes, pos: int, cycle: int,
+                   banks: int) -> Tuple[CycleRecord, int]:
+    """Decode one record from *buf* at *pos*; returns (record, new pos)."""
+    end = pos + _HDR.size
+    if end > len(buf):
+        raise ValueError("truncated trace record header")
+    flags, counts, oldest_bank = _HDR.unpack_from(buf, pos)
+    pos = end
+
+    def u64() -> int:
+        nonlocal pos
+        if pos + 8 > len(buf):
+            raise ValueError("truncated trace record")
+        value = _U64.unpack_from(buf, pos)[0]
+        pos += 8
+        return value
+
+    fetch_pc = u64()
+    rob_head = u64() if flags & _F_HEAD else None
+    exception = u64() if flags & _F_EXC else None
+    dispatch_pc = u64() if flags & _F_DISP_PC else None
+    committed = []
+    for _ in range(counts & 0xF):
+        addr = u64()
+        if pos >= len(buf):
+            raise ValueError("truncated trace record")
+        meta = buf[pos]
+        pos += 1
+        committed.append(CommittedInst(
+            addr, meta & 0x3F, bool(meta & 0x40), bool(meta & 0x80)))
+    dispatched = tuple(u64() for _ in range(counts >> 4))
+    head_banks: List[Optional[HeadEntry]] = [None] * banks
+    if rob_head is not None:
+        head_banks[oldest_bank] = HeadEntry(rob_head, False)
+    record = CycleRecord(
+        cycle=cycle, committed=tuple(committed), rob_head=rob_head,
+        rob_empty=bool(flags & _F_EMPTY), exception=exception,
+        exception_is_ordering=bool(flags & _F_ORD),
+        dispatched=dispatched, dispatch_pc=dispatch_pc,
+        fetch_pc=fetch_pc, head_banks=tuple(head_banks),
+        oldest_bank=oldest_bank)
+    return record, pos
+
+
+# -- format v1 ------------------------------------------------------------------
+
 
 class TraceWriter(TraceObserver):
-    """Observer that serializes the trace to a binary stream."""
+    """Observer that serializes the trace in the flat v1 format."""
 
     def __init__(self, stream: BinaryIO, banks: int = 4):
         self.stream = stream
@@ -56,48 +271,14 @@ class TraceWriter(TraceObserver):
         stream.write(struct.pack("<B", banks))
 
     def on_cycle(self, record: CycleRecord) -> None:
-        flags = 0
-        if record.rob_empty:
-            flags |= _F_EMPTY
-        if record.exception is not None:
-            flags |= _F_EXC
-        if record.exception_is_ordering:
-            flags |= _F_ORD
-        if record.dispatch_pc is not None:
-            flags |= _F_DISP_PC
-        if record.rob_head is not None:
-            flags |= _F_HEAD
-        counts = (len(record.committed) & 0xF) | \
-            ((len(record.dispatched) & 0xF) << 4)
-        out = self.stream
-        out.write(_HDR.pack(flags, counts, record.oldest_bank))
-        out.write(_U64.pack(record.fetch_pc))
-        if record.rob_head is not None:
-            out.write(_U64.pack(record.rob_head))
-        if record.exception is not None:
-            out.write(_U64.pack(record.exception))
-        if record.dispatch_pc is not None:
-            out.write(_U64.pack(record.dispatch_pc))
-        for commit in record.committed:
-            out.write(_U64.pack(commit.addr))
-            out.write(struct.pack(
-                "<B", (commit.bank & 0x3F)
-                | (0x40 if commit.mispredicted else 0)
-                | (0x80 if commit.flushes else 0)))
-        for addr in record.dispatched:
-            out.write(_U64.pack(addr))
+        self.stream.write(_encode_record(record))
         self.records_written += 1
 
     def on_finish(self, final_cycle: int) -> None:
         self.stream.flush()
 
 
-def read_trace(stream: BinaryIO) -> Iterator[CycleRecord]:
-    """Iterate over the records of a serialized trace."""
-    magic = stream.read(len(MAGIC))
-    if magic != MAGIC:
-        raise ValueError("not a TIP trace stream")
-    banks = struct.unpack("<B", stream.read(1))[0]
+def _read_trace_v1(stream: BinaryIO, banks: int) -> Iterator[CycleRecord]:
     cycle = 0
     while True:
         header = stream.read(_HDR.size)
@@ -134,15 +315,212 @@ def read_trace(stream: BinaryIO) -> Iterator[CycleRecord]:
         cycle += 1
 
 
+# -- format v2 ------------------------------------------------------------------
+
+
+class TraceWriterV2(TraceObserver):
+    """Observer that serializes the trace in the chunk-indexed v2 format.
+
+    Records are buffered and flushed as chunks of *chunk_cycles*
+    records; each chunk header stores the cycle range and the machine
+    state carried into the chunk, so parallel workers can decode and
+    replay any chunk range independently (:mod:`repro.parallel.shard`).
+    """
+
+    def __init__(self, stream: BinaryIO, banks: int = 4,
+                 chunk_cycles: int = DEFAULT_CHUNK_CYCLES,
+                 compress: bool = False):
+        if chunk_cycles < 1:
+            raise ValueError("chunk_cycles must be >= 1")
+        self.stream = stream
+        self.banks = banks
+        self.chunk_cycles = chunk_cycles
+        self.compress = compress
+        self.records_written = 0
+        self.chunks_written = 0
+        self._buffer: List[bytes] = []
+        self._chunk_start = 0
+        #: Carry as of the start of the buffered chunk.
+        self._chunk_carry = ChunkCarry()
+        #: Carry advanced past every record seen so far.
+        self._carry = ChunkCarry()
+        stream.write(MAGIC_V2)
+        stream.write(_FILE_HDR_V2.pack(
+            banks, _FILE_F_ZLIB if compress else 0, chunk_cycles))
+
+    def on_cycle(self, record: CycleRecord) -> None:
+        self._buffer.append(_encode_record(record))
+        self._carry.update(record)
+        self.records_written += 1
+        if len(self._buffer) >= self.chunk_cycles:
+            self._flush_chunk()
+
+    def on_finish(self, final_cycle: int) -> None:
+        if self._buffer:
+            self._flush_chunk()
+        self.stream.flush()
+
+    def _flush_chunk(self) -> None:
+        raw = b"".join(self._buffer)
+        payload = zlib.compress(raw) if self.compress else raw
+        carry = self._chunk_carry
+        flags = 0
+        if carry.oir_addr is not None:
+            flags |= _C_HAS_OIR
+        if carry.last_committed is not None:
+            flags |= _C_HAS_LAST
+        if carry.drain_pending:
+            flags |= _C_DRAIN
+        self.stream.write(_CHUNK_HDR.pack(
+            self._chunk_start, len(self._buffer), len(payload), len(raw),
+            flags, carry.oir_flag, carry.oir_kind,
+            carry.oir_addr or 0, carry.last_committed or 0))
+        self.stream.write(payload)
+        self._chunk_start += len(self._buffer)
+        self._buffer = []
+        self._chunk_carry = self._carry.copy()
+        self.chunks_written += 1
+
+
+def _read_file_header(stream: BinaryIO):
+    """Read the magic and header; returns (version, banks, compressed,
+    chunk_cycles)."""
+    magic = stream.read(len(MAGIC))
+    if magic == MAGIC:
+        banks = struct.unpack("<B", stream.read(1))[0]
+        return 1, banks, False, 0
+    if magic == MAGIC_V2:
+        header = stream.read(_FILE_HDR_V2.size)
+        if len(header) < _FILE_HDR_V2.size:
+            raise ValueError("truncated v2 trace header")
+        banks, flags, chunk_cycles = _FILE_HDR_V2.unpack(header)
+        return 2, banks, bool(flags & _FILE_F_ZLIB), chunk_cycles
+    raise ValueError("not a TIP trace stream")
+
+
+def _unpack_chunk_header(header: bytes) -> Tuple[int, int, int, int,
+                                                 ChunkCarry]:
+    (start_cycle, n_records, payload_bytes, raw_bytes, flags,
+     oir_flag, oir_kind, oir_addr, last_committed) = \
+        _CHUNK_HDR.unpack(header)
+    carry = ChunkCarry(
+        oir_addr=oir_addr if flags & _C_HAS_OIR else None,
+        oir_flag=oir_flag, oir_kind=oir_kind,
+        last_committed=last_committed if flags & _C_HAS_LAST else None,
+        drain_pending=bool(flags & _C_DRAIN))
+    return start_cycle, n_records, payload_bytes, raw_bytes, carry
+
+
+def _decode_chunk(payload: bytes, compressed: bool, raw_bytes: int,
+                  start_cycle: int, n_records: int,
+                  banks: int) -> List[CycleRecord]:
+    raw = zlib.decompress(payload) if compressed else payload
+    if len(raw) != raw_bytes:
+        raise ValueError("chunk payload size mismatch")
+    records = []
+    pos = 0
+    for i in range(n_records):
+        record, pos = _decode_record(raw, pos, start_cycle + i, banks)
+        records.append(record)
+    if pos != len(raw):
+        raise ValueError("trailing bytes in trace chunk")
+    return records
+
+
+def _read_trace_v2(stream: BinaryIO, banks: int, compressed: bool
+                   ) -> Iterator[CycleRecord]:
+    while True:
+        header = stream.read(_CHUNK_HDR.size)
+        if not header:
+            return
+        if len(header) < _CHUNK_HDR.size:
+            raise ValueError("truncated chunk header")
+        start_cycle, n_records, payload_bytes, raw_bytes, _carry = \
+            _unpack_chunk_header(header)
+        payload = stream.read(payload_bytes)
+        if len(payload) < payload_bytes:
+            raise ValueError("truncated chunk payload")
+        for record in _decode_chunk(payload, compressed, raw_bytes,
+                                    start_cycle, n_records, banks):
+            yield record
+
+
+# -- readers ---------------------------------------------------------------------
+
+
+def _open_source(source: Union[BinaryIO, bytes, str]
+                 ) -> Tuple[BinaryIO, bool]:
+    """Returns (stream, owns) for bytes / path / stream sources."""
+    if isinstance(source, (bytes, bytearray)):
+        return io.BytesIO(source), True
+    if isinstance(source, str):
+        return open(source, "rb"), True
+    return source, False
+
+
+def read_trace(stream: BinaryIO) -> Iterator[CycleRecord]:
+    """Iterate over the records of a serialized trace (v1 or v2)."""
+    version, banks, compressed, _chunk_cycles = _read_file_header(stream)
+    if version == 1:
+        return _read_trace_v1(stream, banks)
+    return _read_trace_v2(stream, banks, compressed)
+
+
+def read_index(source: Union[BinaryIO, bytes, str]) -> TraceIndex:
+    """Scan a v2 trace and return its chunk directory.
+
+    Only chunk headers are read; payloads are skipped, so indexing a
+    large trace is cheap.  Raises :class:`ValueError` for v1 traces
+    (convert them with :func:`convert_v1_to_v2` first).
+    """
+    stream, owns = _open_source(source)
+    try:
+        version, banks, compressed, chunk_cycles = \
+            _read_file_header(stream)
+        if version != 2:
+            raise ValueError(
+                "trace is format v1: no chunk index (convert with "
+                "convert_v1_to_v2 / `repro convert-trace`)")
+        chunks: List[ChunkInfo] = []
+        while True:
+            header = stream.read(_CHUNK_HDR.size)
+            if not header:
+                break
+            if len(header) < _CHUNK_HDR.size:
+                raise ValueError("truncated chunk header")
+            start_cycle, n_records, payload_bytes, raw_bytes, carry = \
+                _unpack_chunk_header(header)
+            offset = stream.tell()
+            chunks.append(ChunkInfo(start_cycle, n_records, offset,
+                                    payload_bytes, raw_bytes, carry))
+            stream.seek(payload_bytes, io.SEEK_CUR)
+        return TraceIndex(banks, compressed, chunk_cycles, chunks)
+    finally:
+        if owns:
+            stream.close()
+
+
+def read_chunk(source: Union[BinaryIO, bytes, str], index: TraceIndex,
+               chunk: ChunkInfo) -> List[CycleRecord]:
+    """Decode the records of one chunk located via *index*."""
+    stream, owns = _open_source(source)
+    try:
+        stream.seek(chunk.offset)
+        payload = stream.read(chunk.payload_bytes)
+        if len(payload) < chunk.payload_bytes:
+            raise ValueError("truncated chunk payload")
+        return _decode_chunk(payload, index.compressed, chunk.raw_bytes,
+                             chunk.start_cycle, chunk.n_records,
+                             index.banks)
+    finally:
+        if owns:
+            stream.close()
+
+
 def replay_trace(source: Union[BinaryIO, bytes, str],
                  *observers: TraceObserver) -> int:
     """Replay a serialized trace through *observers*; returns cycles."""
-    if isinstance(source, (bytes, bytearray)):
-        stream: BinaryIO = io.BytesIO(source)
-    elif isinstance(source, str):
-        stream = open(source, "rb")
-    else:
-        stream = source
+    stream, owns = _open_source(source)
     final_cycle = 0
     try:
         for record in read_trace(stream):
@@ -150,8 +528,45 @@ def replay_trace(source: Union[BinaryIO, bytes, str],
             for observer in observers:
                 observer.on_cycle(record)
     finally:
-        if isinstance(source, str):
+        if owns:
             stream.close()
     for observer in observers:
         observer.on_finish(final_cycle)
     return final_cycle + 1
+
+
+def convert_v1_to_v2(source: Union[BinaryIO, bytes, str],
+                     dest: Union[BinaryIO, str],
+                     chunk_cycles: int = DEFAULT_CHUNK_CYCLES,
+                     compress: bool = False) -> int:
+    """Re-encode a v1 trace in the chunk-indexed v2 format.
+
+    Every record is preserved bit-for-bit (the per-record encoding is
+    shared); returns the number of records converted.
+    """
+    in_stream, owns_in = _open_source(source)
+    out_stream: BinaryIO
+    owns_out = False
+    if isinstance(dest, str):
+        out_stream = open(dest, "wb")
+        owns_out = True
+    else:
+        out_stream = dest
+    try:
+        version, banks, _compressed, _cc = _read_file_header(in_stream)
+        if version != 1:
+            raise ValueError("source trace is not format v1")
+        writer = TraceWriterV2(out_stream, banks=banks,
+                               chunk_cycles=chunk_cycles,
+                               compress=compress)
+        final_cycle = 0
+        for record in _read_trace_v1(in_stream, banks):
+            writer.on_cycle(record)
+            final_cycle = record.cycle
+        writer.on_finish(final_cycle)
+        return writer.records_written
+    finally:
+        if owns_in:
+            in_stream.close()
+        if owns_out:
+            out_stream.close()

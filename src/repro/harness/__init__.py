@@ -1,13 +1,14 @@
 """Experiment harness: single-run experiments and suite-wide sweeps."""
 
 from .experiment import (ALL_POLICIES, POLICIES, ExperimentResult,
-                         ProfilerConfig, default_profilers, run_experiment)
+                         ProfilerConfig, default_profilers,
+                         replay_experiment, run_experiment)
 from .multicore import CoreSession, MulticoreSession
 from .runner import (DEFAULT_PERIOD, SuiteResult, run_suite, run_workload)
 
 __all__ = [
     "ALL_POLICIES", "POLICIES", "ExperimentResult", "ProfilerConfig",
-    "default_profilers", "run_experiment", "CoreSession",
-    "MulticoreSession", "DEFAULT_PERIOD", "SuiteResult", "run_suite",
-    "run_workload",
+    "default_profilers", "replay_experiment", "run_experiment",
+    "CoreSession", "MulticoreSession", "DEFAULT_PERIOD", "SuiteResult",
+    "run_suite", "run_workload",
 ]

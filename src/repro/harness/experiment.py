@@ -70,11 +70,14 @@ class ExperimentResult:
     """Profilers, Oracle report and statistics of one run."""
 
     def __init__(self, program: Program, oracle: OracleReport,
-                 profilers: Dict[str, SamplingProfiler], stats: CoreStats,
+                 profilers: Dict[str, SamplingProfiler],
+                 stats: Optional[CoreStats],
                  sanitizer: Optional["TraceSanitizer"] = None):
         self.program = program
         self.oracle = oracle
         self.profilers = profilers
+        #: Simulation statistics; ``None`` for trace replays (the
+        #: simulator never ran).
         self.stats = stats
         #: The trace sanitizer attached to the run (``sanitize=True``).
         self.sanitizer = sanitizer
@@ -160,6 +163,51 @@ def run_experiment(program: Program,
     stats = machine.run(max_cycles)
     return ExperimentResult(image, oracle.report, built, stats,
                             sanitizer=sanitizer)
+
+
+def replay_experiment(trace, image: Program,
+                      profilers: Sequence[ProfilerConfig],
+                      sanitize: bool = False,
+                      jobs: int = 1,
+                      spec=None,
+                      timeout: Optional[float] = None,
+                      retries: int = 1,
+                      verbose: bool = False) -> ExperimentResult:
+    """Re-profile a recorded trace out-of-band (no re-simulation).
+
+    The trace is read **once** no matter how many profilers are
+    configured: every profiler, the Oracle and (with *sanitize*) a
+    single :class:`~repro.lint.TraceSanitizer` observe the same pass.
+    Attaching the sanitizer per profiler pass would both re-read the
+    trace N times and multiply its cycle counts by N; ``cycles_checked``
+    equals the trace length exactly.
+
+    With *jobs* > 1 and a :class:`~repro.parallel.shard.ProgramSpec`
+    (*spec*) the replay is sharded across worker processes
+    (chunk-indexed v2 traces only) with bit-identical profiler samples;
+    anything non-shardable silently falls back to this serial path.
+
+    ``result.stats`` is ``None`` -- the simulator never ran.  The
+    underlying :class:`~repro.parallel.shard.ReplayOutcome` is exposed
+    as ``result.replay`` (mode, shard count, fallback reason).
+    """
+    from ..parallel.shard import replay_serial, replay_sharded
+    configs = tuple(profilers)
+    watch_keys = tuple(sorted({(p.period, p.mode, p.seed)
+                               for p in configs}))
+    if jobs > 1 and spec is not None:
+        outcome = replay_sharded(trace, spec, configs, jobs,
+                                 watch_keys=watch_keys,
+                                 sanitize=sanitize, image=image,
+                                 timeout=timeout, retries=retries,
+                                 verbose=verbose)
+    else:
+        outcome = replay_serial(trace, image, configs, watch_keys,
+                                sanitize)
+    result = ExperimentResult(image, outcome.oracle, outcome.profilers,
+                              stats=None, sanitizer=outcome.sanitizer)
+    result.replay = outcome
+    return result
 
 
 def default_profilers(period: int, mode: str = "periodic", seed: int = 0,

@@ -7,11 +7,12 @@ paper's FireSim + CPU-side trace-processing setup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.cyclestacks import CycleStack
 from ..analysis.symbols import Granularity
+from ..parallel.pool import JobFailure
 from ..workloads.generator import Workload
 from ..workloads.suite import build_suite
 from .experiment import (ALL_POLICIES, ExperimentResult, ProfilerConfig,
@@ -30,6 +31,12 @@ class SuiteResult:
     """Results for every benchmark in a run of the suite."""
 
     results: Dict[str, ExperimentResult]
+    #: Benchmarks whose worker failed after retries (parallel runs).
+    failures: Dict[str, JobFailure] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     def errors(self, granularity: Granularity,
                policies: Optional[Sequence[str]] = None
@@ -86,16 +93,34 @@ def run_suite(workloads: Optional[Sequence[Workload]] = None,
               scale: float = 1.0,
               max_cycles: int = 10_000_000,
               verbose: bool = False,
-              sanitize: bool = False) -> SuiteResult:
+              sanitize: bool = False,
+              jobs: int = 1,
+              timeout: Optional[float] = None,
+              retries: int = 1) -> SuiteResult:
     """Run the whole suite (or the given workloads).
 
     *sanitize* attaches a commit-trace sanitizer to every simulation and
     fails fast on the first invariant violation.
+
+    *jobs* > 1 simulates named suite benchmarks in parallel worker
+    processes (:mod:`repro.parallel.suite`); *scale* must then match the
+    scale the workloads were built with, because workers rebuild them by
+    name.  *timeout* bounds each benchmark's wall clock and *retries*
+    caps re-runs of a failed worker; exhausted benchmarks land in
+    ``SuiteResult.failures``.
     """
     if workloads is None:
         workloads = build_suite(scale=scale)
     if profilers is None:
         profilers = default_profilers(period, policies=policies)
+    if jobs > 1:
+        from ..parallel.suite import (DEFAULT_JOB_TIMEOUT,
+                                      run_suite_parallel)
+        return run_suite_parallel(
+            workloads, profilers, jobs, scale=scale,
+            max_cycles=max_cycles, sanitize=sanitize,
+            timeout=DEFAULT_JOB_TIMEOUT if timeout is None else timeout,
+            retries=retries, verbose=verbose)
     results: Dict[str, ExperimentResult] = {}
     for workload in workloads:
         if verbose:

@@ -1,0 +1,165 @@
+"""``repro bench``: wall-clock timing of the record/replay pipeline.
+
+Times the four stages of the paper's methodology as implemented here --
+simulate, record (chunk-indexed v2 trace), serial out-of-band replay,
+sharded parallel replay -- plus a serial-versus-parallel suite run, and
+writes the measurements to ``BENCH_pipeline.json``.  The sharded replay
+is also cross-checked against the serial one via per-profiler sample
+checksums, so the benchmark doubles as an end-to-end determinism check
+(CI fails if the checksums diverge).
+
+Numbers are *measured on the current machine*; on a single-core
+container the parallel stages show no speedup, which is expected and
+not an error.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.profiles import profile_checksum
+from ..cpu.machine import Machine
+from ..cpu.tracefile import DEFAULT_CHUNK_CYCLES, TraceWriterV2
+from ..workloads.suite import build, build_suite
+from .shard import ProgramSpec, replay_serial, replay_sharded
+
+#: Benchmarks exercised by the pipeline benchmark (cheap but diverse:
+#: one per Figure 7 class).
+DEFAULT_BENCHMARKS = ("x264", "imagick", "mcf")
+DEFAULT_SCALE = 0.2
+
+
+def _now() -> float:
+    return time.perf_counter()
+
+
+def run_bench(output: str = "BENCH_pipeline.json",
+              benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+              scale: float = DEFAULT_SCALE,
+              period: Optional[int] = None,
+              jobs: Optional[int] = None,
+              chunk_cycles: int = DEFAULT_CHUNK_CYCLES,
+              compress: bool = False,
+              verbose: bool = False) -> Dict:
+    """Benchmark the simulate/record/replay/suite pipeline.
+
+    Returns the result dict and writes it to *output* as JSON.
+    *period* defaults to the suite runner's sampling period.
+    """
+    # Imported here: the harness imports repro.parallel at module scope.
+    from ..harness.experiment import default_profilers
+    from ..harness.runner import DEFAULT_PERIOD, run_suite
+
+    jobs = jobs or os.cpu_count() or 1
+    period = DEFAULT_PERIOD if period is None else period
+    configs = default_profilers(period)
+    result: Dict = {
+        "period": period,
+        "scale": scale,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "chunk_cycles": chunk_cycles,
+        "compress": compress,
+        "benchmarks": {},
+    }
+
+    checksums_equal = True
+    for name in benchmarks:
+        if verbose:
+            print(f"[bench] {name} ...", flush=True)
+        entry: Dict = {}
+
+        workload = build(name, scale)
+        start = _now()
+        machine = Machine(workload.program,
+                          premapped_data=workload.premapped)
+        stats = machine.run()
+        entry["simulate_s"] = _now() - start
+        entry["cycles"] = stats.cycles
+
+        start = _now()
+        machine = Machine(workload.program,
+                          premapped_data=workload.premapped)
+        buffer = io.BytesIO()
+        writer = TraceWriterV2(buffer, machine.config.rob_banks,
+                               chunk_cycles=chunk_cycles,
+                               compress=compress)
+        machine.attach(writer)
+        machine.run()
+        entry["record_s"] = _now() - start
+        trace = buffer.getvalue()
+        entry["trace_bytes"] = len(trace)
+        entry["chunks"] = writer.chunks_written
+
+        spec = ProgramSpec(kind="workload", source=name, scale=scale)
+        image = spec.build_image()
+
+        start = _now()
+        serial = replay_serial(trace, image, configs)
+        entry["replay_serial_s"] = _now() - start
+
+        start = _now()
+        sharded = replay_sharded(trace, spec, configs, jobs=jobs,
+                                 image=image)
+        entry["replay_sharded_s"] = _now() - start
+        entry["replay_mode"] = sharded.mode
+        entry["shards"] = sharded.shards
+        if sharded.fallback_reason:
+            entry["fallback_reason"] = sharded.fallback_reason
+
+        entry["checksums"] = {}
+        for label, profiler in serial.profilers.items():
+            serial_sum = profile_checksum(profiler.samples)
+            sharded_sum = profile_checksum(
+                sharded.profilers[label].samples)
+            entry["checksums"][label] = {
+                "serial": serial_sum,
+                "sharded": sharded_sum,
+                "equal": serial_sum == sharded_sum,
+            }
+            checksums_equal &= serial_sum == sharded_sum
+        result["benchmarks"][name] = entry
+
+    workloads = build_suite(list(benchmarks), scale=scale)
+    start = _now()
+    run_suite(workloads, profilers=configs, scale=scale)
+    result["suite_serial_s"] = _now() - start
+    start = _now()
+    parallel = run_suite(workloads, profilers=configs, scale=scale,
+                         jobs=jobs)
+    result["suite_parallel_s"] = _now() - start
+    result["suite_failures"] = [str(failure) for failure
+                                in parallel.failures.values()]
+    result["checksums_equal"] = checksums_equal
+
+    with open(output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if verbose:
+        print(f"[bench] wrote {output}", flush=True)
+    return result
+
+
+def render_bench(result: Dict) -> str:
+    """Human-readable one-screen summary of a bench result."""
+    lines: List[str] = []
+    lines.append(f"jobs={result['jobs']} cpu_count={result['cpu_count']} "
+                 f"chunk_cycles={result['chunk_cycles']}")
+    for name, entry in result["benchmarks"].items():
+        lines.append(
+            f"{name:>14}: simulate {entry['simulate_s']:.3f}s  "
+            f"record {entry['record_s']:.3f}s  "
+            f"replay {entry['replay_serial_s']:.3f}s  "
+            f"sharded {entry['replay_sharded_s']:.3f}s "
+            f"({entry['replay_mode']}, {entry['shards']} shard(s), "
+            f"{entry['cycles']} cycles)")
+    lines.append(f"suite: serial {result['suite_serial_s']:.3f}s  "
+                 f"parallel {result['suite_parallel_s']:.3f}s")
+    lines.append("sharded replay checksums: "
+                 + ("OK (identical to serial)"
+                    if result["checksums_equal"] else "MISMATCH"))
+    return "\n".join(lines)

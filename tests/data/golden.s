@@ -1,0 +1,40 @@
+; Golden workload for the parallel-replay differential harness.
+; Deliberately exercises every commit-stage state: wide commit,
+; dependence stalls, load stalls, mispredicted branches, a CSR flush
+; and a front-end drain -- so every profiler's shard carry state is
+; covered by the golden trace.
+.data 0x2000 1
+.entry main
+.func main
+main:
+    addi x1, x0, 0
+    addi x2, x0, 160
+outer:
+    lw   x3, 0x2000(x1)
+    andi x4, x1, 7
+    beq  x4, x0, flush
+    add  x5, x5, x3
+    add  x6, x6, x5
+    add  x7, x7, x6
+    jal  x9, leaf
+    addi x1, x1, 4
+    andi x1, x1, 255
+    addi x2, x2, -1
+    bne  x2, x0, outer
+    lw   x10, 0x100000(x0)
+    halt
+flush:
+    frflags x8
+    jal  x9, leaf
+    addi x1, x1, 4
+    andi x1, x1, 255
+    addi x2, x2, -1
+    bne  x2, x0, outer
+    lw   x10, 0x100000(x0)
+    halt
+
+.func leaf
+leaf:
+    addi x11, x11, 1
+    xor  x12, x12, x11
+    jalr x0, x9, 0

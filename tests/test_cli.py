@@ -184,3 +184,86 @@ loop:
     assert "replayed" in out
     assert "error" in out
     assert "sanitizer:" in out and "clean" in out
+
+
+def test_record_v2_replay_sharded_and_convert(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+.func main
+    addi x1, x0, 0
+    addi x2, x0, 600
+loop:
+    add  x3, x3, x1
+    addi x1, x1, 1
+    bne  x1, x2, loop
+    halt
+""")
+    v2 = tmp_path / "run2.tiptrace"
+    assert main(["record", str(source), "-o", str(v2),
+                 "--chunk-cycles", "128", "--compress"]) == 0
+    out = capsys.readouterr().out
+    assert "[v2]" in out
+
+    assert main(["replay", str(v2), str(source), "--jobs", "2",
+                 "--period", "11", "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "sharded, 2 shard(s)" in out
+    assert "clean" in out
+
+    v1 = tmp_path / "run1.tiptrace"
+    assert main(["record", str(source), "-o", str(v1),
+                 "--format", "v1"]) == 0
+    capsys.readouterr()
+    converted = tmp_path / "converted.tiptrace"
+    assert main(["convert-trace", str(v1), "-o", str(converted),
+                 "--chunk-cycles", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "converted" in out
+    assert main(["replay", str(converted), str(source), "--jobs", "3",
+                 "--period", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "sharded, 3 shard(s)" in out
+
+
+def test_replay_v1_trace_falls_back_serially(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+.func main
+    addi x1, x0, 0
+    addi x2, x0, 100
+loop:
+    addi x1, x1, 1
+    bne  x1, x2, loop
+    halt
+""")
+    trace = tmp_path / "run.tiptrace"
+    assert main(["record", str(source), "-o", str(trace),
+                 "--format", "v1"]) == 0
+    capsys.readouterr()
+    assert main(["replay", str(trace), str(source), "--jobs", "4",
+                 "--period", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "serial" in out and "fallback" in out
+
+
+def test_suite_parallel_jobs(capsys):
+    assert main(["suite", "exchange2", "lbm", "--scale", "0.05",
+                 "--period", "29", "--jobs", "2", "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "exchange2" in out and "lbm" in out
+    assert "sanitizer:" in out and "clean" in out
+
+
+def test_bench_command(tmp_path, capsys):
+    output = tmp_path / "BENCH_pipeline.json"
+    assert main(["bench", "exchange2", "--scale", "0.05",
+                 "--jobs", "2", "--chunk-cycles", "256",
+                 "-o", str(output)]) == 0
+    out = capsys.readouterr().out
+    assert "checksums: OK" in out
+    import json
+    data = json.loads(output.read_text())
+    assert data["checksums_equal"] is True
+    assert "exchange2" in data["benchmarks"]
+    assert data["benchmarks"]["exchange2"]["replay_mode"] == "sharded"
+    assert data["suite_serial_s"] > 0 and data["suite_parallel_s"] > 0

@@ -174,3 +174,143 @@ def test_property_round_trip(records):
             [c.addr for c in original.committed]
         assert [c.mispredicted for c in copy.committed] == \
             [c.mispredicted for c in original.committed]
+
+
+# -- format v2: chunk-indexed traces --------------------------------------------
+
+from repro.cpu.tracefile import (ChunkCarry, TraceWriterV2,
+                                 convert_v1_to_v2, read_chunk,
+                                 read_index)
+
+
+def _records_equal(a, b):
+    assert a.cycle == b.cycle
+    assert a.rob_empty == b.rob_empty
+    assert a.rob_head == b.rob_head
+    assert a.exception == b.exception
+    assert a.exception_is_ordering == b.exception_is_ordering
+    assert a.dispatch_pc == b.dispatch_pc
+    assert a.fetch_pc == b.fetch_pc
+    assert a.oldest_bank == b.oldest_bank
+    assert tuple(a.dispatched) == tuple(b.dispatched)
+    assert [(c.addr, c.bank, c.mispredicted, c.flushes)
+            for c in a.committed] == \
+        [(c.addr, c.bank, c.mispredicted, c.flushes)
+         for c in b.committed]
+
+
+def _write_v2(records, chunk_cycles, compress):
+    buffer = io.BytesIO()
+    writer = TraceWriterV2(buffer, banks=4, chunk_cycles=chunk_cycles,
+                           compress=compress)
+    for record in records:
+        writer.on_cycle(record)
+    writer.on_finish(records[-1].cycle if records else 0)
+    return buffer.getvalue()
+
+
+@given(records=_random_records(),
+       chunk_cycles=st.integers(1, 40),
+       compress=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_property_v2_round_trip(records, chunk_cycles, compress):
+    """v2 streams decode identically across chunk sizes/compression."""
+    data = _write_v2(records, chunk_cycles, compress)
+    decoded = list(read_trace(io.BytesIO(data)))
+    assert len(decoded) == len(records)
+    for original, copy in zip(records, decoded):
+        _records_equal(original, copy)
+
+
+@given(records=_random_records(),
+       chunk_cycles=st.integers(1, 40),
+       compress=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_property_v2_index_and_chunks(records, chunk_cycles, compress):
+    """The chunk directory tiles the trace: dense cycle ranges, carry
+    state derivable from the record prefix, chunk payloads decodable in
+    isolation."""
+    data = _write_v2(records, chunk_cycles, compress)
+    index = read_index(data)
+    assert index.banks == 4
+    assert index.compressed == compress
+    assert index.chunk_cycles == chunk_cycles
+    assert index.total_records == len(records)
+
+    rebuilt = []
+    expected_start = 0
+    reference = ChunkCarry()
+    for chunk in index.chunks:
+        assert chunk.start_cycle == expected_start
+        assert 0 < chunk.n_records <= chunk_cycles
+        expected_start += chunk.n_records
+        # The header carry equals the carry at the chunk's first cycle.
+        carry = chunk.carry
+        assert (carry.oir_addr, carry.oir_flag, carry.oir_kind,
+                carry.last_committed, carry.drain_pending) == \
+            (reference.oir_addr, reference.oir_flag, reference.oir_kind,
+             reference.last_committed, reference.drain_pending)
+        chunk_records = read_chunk(data, index, chunk)
+        for record in chunk_records:
+            reference.update(record)
+        rebuilt.extend(chunk_records)
+    assert len(rebuilt) == len(records)
+    for original, copy in zip(records, rebuilt):
+        _records_equal(original, copy)
+
+
+@given(records=_random_records(),
+       chunk_cycles=st.integers(1, 40),
+       compress=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_property_v1_to_v2_conversion_preserves_records(
+        records, chunk_cycles, compress):
+    v1 = io.BytesIO()
+    writer = TraceWriter(v1, banks=4)
+    for record in records:
+        writer.on_cycle(record)
+    writer.on_finish(records[-1].cycle)
+
+    v2 = io.BytesIO()
+    converted = convert_v1_to_v2(v1.getvalue(), v2,
+                                 chunk_cycles=chunk_cycles,
+                                 compress=compress)
+    assert converted == len(records)
+    decoded = list(read_trace(io.BytesIO(v2.getvalue())))
+    assert len(decoded) == len(records)
+    for original, copy in zip(records, decoded):
+        _records_equal(original, copy)
+
+
+def test_read_index_rejects_v1(recorded):
+    data, _, _ = recorded
+    with pytest.raises(ValueError, match="v1"):
+        read_index(data)
+
+
+def test_convert_rejects_v2():
+    data = _write_v2([], 8, False)
+
+    with pytest.raises(ValueError, match="not format v1"):
+        convert_v1_to_v2(data, io.BytesIO())
+
+
+def test_v2_replay_drives_profilers(recorded):
+    """A v2 re-encoding of a v1 trace replays identically."""
+    data, _, machine = recorded
+    v2 = io.BytesIO()
+    convert_v1_to_v2(data, v2, chunk_cycles=64)
+    v1_tip = TipProfiler(SampleSchedule(7), machine.image)
+    v2_tip = TipProfiler(SampleSchedule(7), machine.image)
+    assert replay_trace(data, v1_tip) == \
+        replay_trace(v2.getvalue(), v2_tip)
+    assert [(s.cycle, s.weights) for s in v1_tip.samples] == \
+        [(s.cycle, s.weights) for s in v2_tip.samples]
+
+
+def test_v2_compression_shrinks_trace(recorded):
+    data, _, _ = recorded
+    plain, packed = io.BytesIO(), io.BytesIO()
+    convert_v1_to_v2(data, plain, chunk_cycles=256, compress=False)
+    convert_v1_to_v2(data, packed, chunk_cycles=256, compress=True)
+    assert len(packed.getvalue()) < len(plain.getvalue()) / 2
