@@ -17,12 +17,16 @@ Commands
     v2 by default; ``--format v1`` for the legacy flat stream).
 ``replay trace.bin FILE.s``
     Re-profile a recorded trace without re-simulating; ``--jobs N``
-    shards a v2 trace over worker processes (bit-identical results).
+    shards a v2 trace over worker processes and ``--engine`` picks
+    columnar-block or per-record consumption (bit-identical results).
 ``convert-trace trace.bin -o trace2.bin``
     Re-encode a v1 trace in the chunk-indexed v2 format.
 ``bench``
     Time the simulate/record/replay/suite pipeline and write
     ``BENCH_pipeline.json``.
+``bench --trace trace.bin --program FILE.s``
+    Time the cycle-vs-block replay engines on a recorded trace and
+    write ``BENCH_hotpath.json`` (``--quick`` for CI smoke runs).
 ``lint TARGET...``
     Statically lint assembly files, directories or benchmark names.
 
@@ -198,7 +202,7 @@ def cmd_replay(args) -> int:
     spec = ProgramSpec(kind="asm", source=source, name=args.program)
     result = replay_experiment(args.trace, image, configs,
                                sanitize=args.sanitize, jobs=args.jobs,
-                               spec=spec)
+                               spec=spec, engine=args.engine)
     outcome = result.replay
     profiler = result.profilers[args.policy]
     granularity = Granularity(args.granularity)
@@ -206,7 +210,8 @@ def cmd_replay(args) -> int:
                           granularity)
     print(f"replayed {outcome.cycles} cycles, "
           f"{len(profiler.samples)} samples "
-          f"({outcome.mode}, {outcome.shards} shard(s))")
+          f"({outcome.mode}, {outcome.shards} shard(s), "
+          f"{outcome.engine} engine)")
     if outcome.fallback_reason:
         print(f"note: serial fallback: {outcome.fallback_reason}")
     print(f"{args.policy} {granularity.value}-level error: {error:.2%}")
@@ -225,6 +230,11 @@ def cmd_convert_trace(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.trace:
+        if not args.program:
+            print("--trace requires --program", file=sys.stderr)
+            return 2
+        return _cmd_bench_hotpath(args)
     from .parallel import render_bench, run_bench
     benchmarks = args.benchmarks or None
     if _reject_unknown_benchmarks(benchmarks):
@@ -236,6 +246,22 @@ def cmd_bench(args) -> int:
                        chunk_cycles=args.chunk_cycles,
                        compress=args.compress, verbose=True)
     print(render_bench(result))
+    return 0 if result["checksums_equal"] else 1
+
+
+def _cmd_bench_hotpath(args) -> int:
+    from .fastpath import render_hotpath_bench, run_hotpath_bench
+    from .kernel import Kernel
+    with open(args.program) as handle:
+        source = handle.read()
+    image = Kernel().boot(assemble(source, name=args.program))
+    mode = "random" if args.random else "periodic"
+    result = run_hotpath_bench(args.trace, image,
+                               output=args.hotpath_output,
+                               period=args.period, mode=mode,
+                               seed=args.seed, quick=args.quick,
+                               verbose=True)
+    print(render_hotpath_bench(result))
     return 0 if result["checksums_equal"] else 1
 
 
@@ -375,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--jobs", type=int, default=1,
                         help="shard the replay over N worker processes "
                              "(v2 traces; bit-identical to serial)")
+    replay.add_argument("--engine", default="block",
+                        choices=["cycle", "block"],
+                        help="trace consumption engine: columnar "
+                             "blocks (default; falls back to cycle "
+                             "for v1 traces) or per-record cycles")
     _add_common(replay)
     _add_sanitize(replay)
     replay.set_defaults(func=cmd_replay)
@@ -398,6 +429,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--chunk-cycles", type=int,
                        default=DEFAULT_CHUNK_CYCLES)
     bench.add_argument("--compress", action="store_true")
+    bench.add_argument("--trace",
+                       help="recorded v2 trace: benchmark the "
+                            "cycle-vs-block replay engines on it "
+                            "instead of the full pipeline")
+    bench.add_argument("--program",
+                       help="assembly source the trace was recorded "
+                            "from (required with --trace)")
+    bench.add_argument("--quick", action="store_true",
+                       help="fewer timing repetitions (CI smoke)")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="sampling seed for --trace runs")
+    bench.add_argument("--hotpath-output", default="BENCH_hotpath.json",
+                       help="output file for --trace runs")
+    _add_common(bench)
     bench.set_defaults(func=cmd_bench)
 
     lint = sub.add_parser(

@@ -20,6 +20,7 @@ family (Section 5):
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Optional
 
 from ..cpu.trace import CycleRecord
@@ -39,6 +40,7 @@ class SoftwareProfiler(SamplingProfiler):
     """
 
     name = "Software"
+    block_native = True
 
     def __init__(self, schedule: SampleSchedule, skid_cycles: int = 0):
         super().__init__(schedule)
@@ -64,11 +66,28 @@ class SoftwareProfiler(SamplingProfiler):
             return [(record.fetch_pc, 1.0)], None
         return None
 
+    def _block_attribute(self, block, i: int) -> Optional[Outcome]:
+        if self.skid_cycles == 0:
+            return [(block.fetch_pc[i], 1.0)], None
+        self._deliver_at = block.start_cycle + i + self.skid_cycles
+        return None
+
+    def _block_scan_resolve(self, block, i: int) -> Optional[int]:
+        # The interrupt delivers at the first cycle >= _deliver_at;
+        # pendings carried across a block boundary may deliver at 0.
+        r = max(i, self._deliver_at - block.start_cycle)
+        return r if r < block.n else None
+
+    def _block_resolve_outcome(self, block, i: int) -> Outcome:
+        self._deliver_at = None
+        return [(block.fetch_pc[i], 1.0)], None
+
 
 class DispatchProfiler(SamplingProfiler):
     """Tag at dispatch, as AMD IBS and Arm SPE do."""
 
     name = "Dispatch"
+    block_native = True
 
     def _attribute(self, record: CycleRecord) -> Optional[Outcome]:
         if record.dispatch_pc is not None:
@@ -80,11 +99,26 @@ class DispatchProfiler(SamplingProfiler):
             return [(record.dispatch_pc, 1.0)], None
         return None
 
+    def _block_attribute(self, block, i: int) -> Optional[Outcome]:
+        pc = block.dispatch_pc_at(i)
+        if pc is not None:
+            return [(pc, 1.0)], None
+        return None
+
+    def _block_scan_resolve(self, block, i: int) -> Optional[int]:
+        with_pc = block.disp_pc_cycles
+        k = bisect_left(with_pc, i)
+        return with_pc[k] if k < len(with_pc) else None
+
+    def _block_resolve_outcome(self, block, i: int) -> Outcome:
+        return [(block.dispatch_pc_at(i), 1.0)], None
+
 
 class LciProfiler(SamplingProfiler):
     """Report the last-committed instruction."""
 
     name = "LCI"
+    block_native = True
 
     def __init__(self, schedule: SampleSchedule):
         super().__init__(schedule)
@@ -107,11 +141,41 @@ class LciProfiler(SamplingProfiler):
             return [(record.committed[-1].addr, 1.0)], None
         return None
 
+    def _block_attribute(self, block, i: int) -> Optional[Outcome]:
+        # _update_state runs before _attribute, so a commit group at the
+        # sampled cycle itself already counts (bisect_right includes i).
+        commits = block.commit_cycles
+        k = bisect_right(commits, i)
+        if k:
+            c = commits[k - 1]
+            return [(block.commit_addr[block.commit_base[c + 1] - 1],
+                     1.0)], None
+        if self._last_committed is not None:
+            return [(self._last_committed, 1.0)], None
+        return None
+
+    def _block_scan_resolve(self, block, i: int) -> Optional[int]:
+        commits = block.commit_cycles
+        k = bisect_left(commits, i)
+        return commits[k] if k < len(commits) else None
+
+    def _block_resolve_outcome(self, block, i: int) -> Outcome:
+        youngest = block.commit_addr[block.commit_base[i + 1] - 1]
+        return [(youngest, 1.0)], None
+
+    def _block_update_tail(self, block) -> None:
+        commits = block.commit_cycles
+        if commits:
+            c = commits[-1]
+            self._last_committed = \
+                block.commit_addr[block.commit_base[c + 1] - 1]
+
 
 class NciProfiler(SamplingProfiler):
     """Report the next-committing instruction (Intel PEBS)."""
 
     name = "NCI"
+    block_native = True
 
     def _attribute(self, record: CycleRecord) -> Optional[Outcome]:
         if record.committed:
@@ -126,6 +190,22 @@ class NciProfiler(SamplingProfiler):
     def _commit_group(self, record: CycleRecord) -> Outcome:
         return [(record.committed[0].addr, 1.0)], None
 
+    def _block_attribute(self, block, i: int) -> Optional[Outcome]:
+        if block.commit_base[i + 1] > block.commit_base[i]:
+            return self._block_commit_group(block, i)
+        return None
+
+    def _block_scan_resolve(self, block, i: int) -> Optional[int]:
+        commits = block.commit_cycles
+        k = bisect_left(commits, i)
+        return commits[k] if k < len(commits) else None
+
+    def _block_resolve_outcome(self, block, i: int) -> Outcome:
+        return self._block_commit_group(block, i)
+
+    def _block_commit_group(self, block, i: int) -> Outcome:
+        return [(block.commit_addr[block.commit_base[i]], 1.0)], None
+
 
 class NciIlpProfiler(NciProfiler):
     """Commit-parallelism-aware NCI (Section 5.2 sensitivity study)."""
@@ -136,3 +216,9 @@ class NciIlpProfiler(NciProfiler):
     def _commit_group(self, record: CycleRecord) -> Outcome:
         share = 1.0 / len(record.committed)
         return [(c.addr, share) for c in record.committed], None
+
+    def _block_commit_group(self, block, i: int) -> Outcome:
+        lo, hi = block.commit_base[i], block.commit_base[i + 1]
+        share = 1.0 / (hi - lo)
+        return [(block.commit_addr[k], share)
+                for k in range(lo, hi)], None

@@ -120,6 +120,90 @@ class OracleReport:
         return {addr: t / total for addr, t in self.profile.items()}
 
 
+#: Dense small-int codes for the category/flush enums -- the fast path
+#: accumulates against these instead of hashing enum members per weight.
+_CATEGORIES = tuple(Category)
+_CAT_CODE = {category: code for code, category in enumerate(_CATEGORIES)}
+_FLUSH_KINDS = tuple(FlushKind)
+_FLUSH_CODE = {kind: code for code, kind in enumerate(_FLUSH_KINDS)}
+#: Categorized-scratch keys pack ``slot * _CAT_STRIDE + cat_code``.
+_CAT_STRIDE = len(_CATEGORIES)
+
+
+class _FastAccumulator:
+    """Interned, list-backed attribution scratch (block fast path).
+
+    ``report.add`` pays enum hashing, a float box and a ``get`` default
+    per table per weight.  The fast path interns each address (and each
+    ``(addr, category)`` pair, packed as one int) into a slot index
+    once and accumulates into plain float lists, converting back into
+    the report's dict tables in one pass at flush time.  Per-slot
+    accumulation happens in the same cycle order as ``report.add``
+    would apply it and each slot folds into an absent (0.0) dict entry,
+    so flushed totals are bit-identical to the cycle engine's.
+    """
+
+    __slots__ = ("profile_slot", "profile_addr", "profile_acc",
+                 "cat_slot", "cat_code", "cat_acc", "totals", "flush")
+
+    def __init__(self):
+        self.profile_slot: Dict[int, int] = {}
+        self.profile_addr: List[int] = []
+        self.profile_acc: List[float] = []
+        self.cat_slot: Dict[int, int] = {}
+        self.cat_code: List[int] = []
+        self.cat_acc: List[float] = []
+        self.totals = [0.0] * len(_CATEGORIES)
+        self.flush = [0.0] * len(_FLUSH_KINDS)
+
+    def add(self, addr: int, weight: float, cat_code: int,
+            flush_code: int = -1) -> None:
+        slot = self.profile_slot.get(addr)
+        if slot is None:
+            slot = self.profile_slot[addr] = len(self.profile_acc)
+            self.profile_addr.append(addr)
+            self.profile_acc.append(0.0)
+        self.profile_acc[slot] += weight
+        key = slot * _CAT_STRIDE + cat_code
+        cslot = self.cat_slot.get(key)
+        if cslot is None:
+            cslot = self.cat_slot[key] = len(self.cat_acc)
+            self.cat_code.append(key)
+            self.cat_acc.append(0.0)
+        self.cat_acc[cslot] += weight
+        self.totals[cat_code] += weight
+        if flush_code >= 0:
+            self.flush[flush_code] += weight
+
+    def flush_into(self, report: "OracleReport") -> None:
+        """Fold the scratch into *report* and zero it for reuse."""
+        profile = report.profile
+        addrs = self.profile_addr
+        acc = self.profile_acc
+        for slot, addr in enumerate(addrs):
+            profile[addr] = profile.get(addr, 0.0) + acc[slot]
+            acc[slot] = 0.0
+        categorized = report.categorized
+        cat_acc = self.cat_acc
+        for cslot, packed in enumerate(self.cat_code):
+            key = (addrs[packed // _CAT_STRIDE],
+                   _CATEGORIES[packed % _CAT_STRIDE])
+            categorized[key] = categorized.get(key, 0.0) + cat_acc[cslot]
+            cat_acc[cslot] = 0.0
+        totals = report.category_totals
+        for code, value in enumerate(self.totals):
+            if value:
+                category = _CATEGORIES[code]
+                totals[category] = totals.get(category, 0.0) + value
+                self.totals[code] = 0.0
+        breakdown = report.flush_breakdown
+        for code, value in enumerate(self.flush):
+            if value:
+                kind = _FLUSH_KINDS[code]
+                breakdown[kind] = breakdown.get(kind, 0.0) + value
+                self.flush[code] = 0.0
+
+
 class OracleProfiler(TraceObserver):
     """Cycle-exact time-proportional attribution over the commit trace.
 
@@ -149,6 +233,13 @@ class OracleProfiler(TraceObserver):
         self._oir_kind: Optional[FlushKind] = None
         # Cycles waiting for the end of a front-end drain.
         self._pending_drain: List[int] = []
+        # The block fast path bypasses watch bookkeeping entirely, so
+        # it is only safe when no watches were requested.
+        self._fast: Optional[_FastAccumulator] = None
+        if not self._watch and not self._accumulators:
+            self._fast = _FastAccumulator()
+        # addr -> category code, memoizing stall_category lookups.
+        self._stall_codes: Dict[int, int] = {}
 
     # -- trace consumption ---------------------------------------------------------
 
@@ -207,11 +298,85 @@ class OracleProfiler(TraceObserver):
         else:
             self._pending_drain.append(cycle)
 
+    def on_block(self, block) -> None:
+        if self._fast is None:
+            # Watches need per-cycle schedule advancement; take the
+            # materializing fallback.
+            for record in block.records():
+                self.on_cycle(record)
+            return
+        add = self._fast.add
+        start = block.start_cycle
+        commit_base = block.commit_base
+        commit_addr = block.commit_addr
+        commit_meta = block.commit_meta
+        disp_base = block.disp_base
+        exceptions = block.exception
+        exc_ordering = block.exc_ordering
+        rob_empty = block.rob_empty
+        rob_head = block.rob_head
+        program = self.program
+        stall_codes = self._stall_codes
+        execution = _CAT_CODE[Category.EXECUTION]
+        mispredict = _CAT_CODE[Category.MISPREDICT]
+        misc_flush = _CAT_CODE[Category.MISC_FLUSH]
+        flush_code = _FLUSH_CODE
+        for i in range(block.n):
+            if self._pending_drain and \
+                    disp_base[i + 1] > disp_base[i]:
+                self._resolve_drain(block.disp_addr[disp_base[i]])
+            exc = exceptions[i]
+            if exc is not None:
+                self._oir_addr = exc
+                self._oir_flag = _FLAG_EXCEPTION
+                self._oir_kind = (FlushKind.ORDERING if exc_ordering[i]
+                                  else FlushKind.EXCEPTION)
+                add(exc, 1.0, misc_flush, flush_code[self._oir_kind])
+                continue
+            lo, hi = commit_base[i], commit_base[i + 1]
+            if hi > lo:
+                if hi - lo == 1:
+                    add(commit_addr[lo], 1.0, execution)
+                else:
+                    share = 1.0 / (hi - lo)
+                    for k in range(lo, hi):
+                        add(commit_addr[k], share, execution)
+                self._oir_addr = commit_addr[hi - 1]
+                meta = commit_meta[hi - 1]
+                if meta & 0x40:
+                    self._oir_flag = _FLAG_MISPREDICT
+                    self._oir_kind = FlushKind.MISPREDICT
+                elif meta & 0x80:
+                    self._oir_flag = _FLAG_FLUSH
+                    self._oir_kind = FlushKind.CSR
+                else:
+                    self._oir_flag = _FLAG_NONE
+                    self._oir_kind = None
+                continue
+            if not rob_empty[i]:
+                head = rob_head[i]
+                code = stall_codes.get(head)
+                if code is None:
+                    code = _CAT_CODE[stall_category(program, head)]
+                    stall_codes[head] = code
+                add(head, 1.0, code)
+                continue
+            if self._oir_flag == _FLAG_MISPREDICT:
+                add(self._oir_addr, 1.0, mispredict,
+                    flush_code[self._oir_kind])
+            elif self._oir_flag in (_FLAG_FLUSH, _FLAG_EXCEPTION):
+                add(self._oir_addr, 1.0, misc_flush,
+                    flush_code[self._oir_kind])
+            else:
+                self._pending_drain.append(start + i)
+
     def on_finish(self, final_cycle: int) -> None:
         # Any unresolved drain at the end of the run has no successor
         # instruction; those cycles are dropped (they cannot occur after
         # the final halt commits, so this only covers truncated runs).
         self._pending_drain.clear()
+        if self._fast is not None:
+            self._fast.flush_into(self.report)
         self.report.total_cycles = final_cycle
 
     # -- sharded replay (snapshot/merge protocol) ------------------------------------
@@ -237,6 +402,8 @@ class OracleProfiler(TraceObserver):
 
     def snapshot(self) -> dict:
         """Picklable capture of everything this shard attributed."""
+        if self._fast is not None:
+            self._fast.flush_into(self.report)
         report = self.report
         return {
             "profile": dict(report.profile),
@@ -263,6 +430,16 @@ class OracleProfiler(TraceObserver):
     def _emit(self, cycle: int, weights: Attribution,
               category: Category,
               flush_kind: Optional[FlushKind] = None) -> None:
+        if self._fast is not None:
+            # No watches are active; route through the scratch so a run
+            # that mixes engines (block shard body + record run-over)
+            # keeps one accumulation order.
+            cat_code = _CAT_CODE[category]
+            flush_code = -1 if flush_kind is None \
+                else _FLUSH_CODE[flush_kind]
+            for addr, weight in weights:
+                self._fast.add(addr, weight, cat_code, flush_code)
+            return
         for addr, weight in weights:
             self.report.add(addr, weight, category, flush_kind)
         if cycle in self._watch:

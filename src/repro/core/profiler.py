@@ -8,6 +8,18 @@ commit; TIP's drained samples wait for the next dispatch) -- those become
 *pending* samples that resolve on a later cycle.  Samples that never
 resolve before the run ends keep an empty attribution and count as
 misattributed, which is the conservative choice.
+
+Profilers are driven two ways.  The classic *cycle engine* calls
+:meth:`SamplingProfiler.on_cycle` once per cycle.  The *block engine*
+(:mod:`repro.fastpath`) hands whole columnar
+:class:`~repro.fastpath.block.CycleBlock` batches to
+:meth:`SamplingProfiler.on_block`; profilers that set ``block_native``
+and implement the ``_block_*`` hooks then touch only the cycles that
+matter -- sample points and pending-resolution events, located by
+bisecting the block's sparse index lists -- instead of paying a Python
+call per cycle.  The driver reproduces the cycle engine's semantics
+exactly (state update, then pending resolution, then sampling, in
+cycle order), so both engines emit bit-identical sample streams.
 """
 
 from __future__ import annotations
@@ -35,6 +47,9 @@ class SamplingProfiler(TraceObserver):
     #: :mod:`repro.parallel.shard`).  Profilers whose resolution depends
     #: on per-sample state (Software with interrupt skid) clear this.
     shardable = True
+    #: Whether this profiler implements the columnar ``_block_*`` hooks.
+    #: When clear, ``on_block`` falls back to a loop over ``on_cycle``.
+    block_native = False
 
     def __init__(self, schedule: SampleSchedule):
         self.schedule = schedule
@@ -91,6 +106,90 @@ class SamplingProfiler(TraceObserver):
             self._pending.append(sample)
         else:
             sample.weights, sample.category = outcome
+
+    # -- columnar block consumption (the fastpath engine) ------------------------------
+    #
+    # The driver below replays the cycle engine's per-cycle semantics
+    # over a CycleBlock while visiting only the cycles where something
+    # can happen: the schedule's next sample point (known in advance)
+    # and, while samples are pending, the first cycle whose record can
+    # resolve them (found by bisecting the block's sparse index lists).
+    # Every skipped cycle is one where on_cycle would have updated
+    # policy state and returned; the _block_* hooks recompute that
+    # state on demand from the columns, and _block_update_tail pins the
+    # carried state to the block's final cycle so consecutive blocks
+    # (or a switch back to the cycle engine) chain exactly.
+
+    def on_block(self, block) -> None:
+        if not self.block_native:
+            for record in block.records():
+                self.on_cycle(record)
+            return
+        n = block.n
+        if not n:
+            return
+        start = block.start_cycle
+        schedule = self.schedule
+        # First index at which a pending sample may resolve.  A sample
+        # deferred at index s resolves no earlier than s + 1 (on_cycle
+        # tries resolution before sampling); pendings carried in from a
+        # previous block may resolve at index 0.
+        scan = 0
+        while True:
+            s = schedule.next_sample - start
+            if self._pending:
+                r = self._block_scan_resolve(block, scan)
+                if r is not None and (s >= n or r <= s):
+                    weights, category = \
+                        self._block_resolve_outcome(block, r)
+                    for sample in self._pending:
+                        sample.weights = weights
+                        sample.category = category
+                    self._pending.clear()
+            if s >= n:
+                break
+            cycle = start + s
+            schedule.is_sample(cycle)  # advance past the sample point
+            if schedule.mode == "random":
+                interval = schedule.period
+            else:
+                interval = cycle - self._prev_sample_cycle
+            self._prev_sample_cycle = cycle
+            sample = Sample(cycle, interval, [], None)
+            self.samples.append(sample)
+            outcome = self._block_attribute(block, s)
+            if outcome is None:
+                if not self._pending:
+                    scan = s + 1
+                self._pending.append(sample)
+            else:
+                sample.weights, sample.category = outcome
+        self._block_update_tail(block)
+
+    # -- block hooks (override together with ``block_native = True``) -----------------
+
+    def _block_attribute(self, block, i: int) -> Optional[Outcome]:
+        """Columnar twin of ``_attribute`` for the record at index *i*.
+
+        Must account for any state update the record itself would have
+        applied (``on_cycle`` updates state before attributing).
+        """
+        raise NotImplementedError
+
+    def _block_scan_resolve(self, block, i: int) -> Optional[int]:
+        """First index ``>= i`` whose record resolves pending samples.
+
+        ``None`` when nothing in the rest of the block resolves them.
+        """
+        raise NotImplementedError
+
+    def _block_resolve_outcome(self, block, i: int) -> Outcome:
+        """The resolution outcome at index *i* (mirrors ``_resolve``,
+        including any side effects on policy state)."""
+        raise NotImplementedError
+
+    def _block_update_tail(self, block) -> None:
+        """Advance carried policy state past the whole block (hook)."""
 
     # -- sharded replay (snapshot/merge protocol) --------------------------------------
     #

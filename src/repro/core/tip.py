@@ -24,6 +24,7 @@ instruction only.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Optional
 
 from ..cpu.trace import CycleRecord
@@ -43,6 +44,7 @@ class TipProfiler(SamplingProfiler):
 
     name = "TIP"
     ilp_aware = True
+    block_native = True
 
     def __init__(self, schedule: SampleSchedule, program: Program):
         super().__init__(schedule)
@@ -105,6 +107,55 @@ class TipProfiler(SamplingProfiler):
         weights = [(c.addr, share) for c in record.committed]
         return weights, Category.EXECUTION
 
+    # -- columnar fast path (block engine) ---------------------------------------------
+    #
+    # The OIR mirror is only ever *read* when a sample lands on an
+    # empty-ROB cycle, so instead of updating it every cycle the block
+    # path looks up the latest entry of the block's precomputed OIR
+    # update sequence at the sampled index (TIP update semantics are
+    # baked into ``CycleBlock.oir_states``).
+
+    def _oir_at(self, block, i: int):
+        idx, addrs, flags = block.oir_states
+        k = bisect_right(idx, i)
+        if k:
+            return addrs[k - 1], flags[k - 1]
+        return self._oir_addr, self._oir_flag
+
+    def _block_attribute(self, block, i: int) -> Optional[Outcome]:
+        if block.commit_base[i + 1] > block.commit_base[i]:
+            return self._block_computing(block, i)
+        if not block.rob_empty_at(i):
+            head = block.rob_head_at(i)
+            return [(head, 1.0)], stall_category(self.program, head)
+        addr, flag = self._oir_at(block, i)
+        if flag == _FLAG_MISPREDICT:
+            return [(addr, 1.0)], Category.MISPREDICT
+        if flag in (_FLAG_FLUSH, _FLAG_EXCEPTION):
+            return [(addr, 1.0)], Category.MISC_FLUSH
+        return None
+
+    def _block_scan_resolve(self, block, i: int) -> Optional[int]:
+        disp = block.disp_cycles
+        k = bisect_left(disp, i)
+        return disp[k] if k < len(disp) else None
+
+    def _block_resolve_outcome(self, block, i: int) -> Outcome:
+        first = block.disp_addr[block.disp_base[i]]
+        return [(first, 1.0)], Category.FRONTEND
+
+    def _block_update_tail(self, block) -> None:
+        idx, addrs, flags = block.oir_states
+        if idx:
+            self._oir_addr = addrs[-1]
+            self._oir_flag = flags[-1]
+
+    def _block_computing(self, block, i: int) -> Outcome:
+        lo, hi = block.commit_base[i], block.commit_base[i + 1]
+        share = 1.0 / (hi - lo)
+        weights = [(block.commit_addr[k], share) for k in range(lo, hi)]
+        return weights, Category.EXECUTION
+
 
 class TipIlpProfiler(TipProfiler):
     """TIP 'minus' ILP: a Computing sample goes to one instruction."""
@@ -115,3 +166,7 @@ class TipIlpProfiler(TipProfiler):
     def _computing(self, record: CycleRecord) -> Outcome:
         oldest = record.committed[0]
         return [(oldest.addr, 1.0)], Category.EXECUTION
+
+    def _block_computing(self, block, i: int) -> Outcome:
+        oldest = block.commit_addr[block.commit_base[i]]
+        return [(oldest, 1.0)], Category.EXECUTION

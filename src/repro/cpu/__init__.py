@@ -8,9 +8,9 @@ from .machine import Machine
 from .trace import (CommittedInst, CycleRecord, HeadEntry, TraceCollector,
                     TraceObserver, replay)
 from .tracefile import (ChunkCarry, ChunkInfo, DEFAULT_CHUNK_CYCLES,
-                        TraceIndex, TraceWriter, TraceWriterV2,
-                        convert_v1_to_v2, read_chunk, read_index,
-                        read_trace, replay_trace)
+                        TraceIndex, TraceReaderV2, TraceWriter,
+                        TraceWriterV2, convert_v1_to_v2, read_chunk,
+                        read_index, read_trace, replay_trace)
 from .uop import MicroOp
 
 __all__ = [
@@ -19,6 +19,6 @@ __all__ = [
     "Machine", "CommittedInst", "CycleRecord", "HeadEntry",
     "TraceCollector", "TraceObserver", "replay", "MicroOp",
     "ChunkCarry", "ChunkInfo", "DEFAULT_CHUNK_CYCLES", "TraceIndex",
-    "TraceWriter", "TraceWriterV2", "convert_v1_to_v2", "read_chunk",
-    "read_index", "read_trace", "replay_trace",
+    "TraceReaderV2", "TraceWriter", "TraceWriterV2", "convert_v1_to_v2",
+    "read_chunk", "read_index", "read_trace", "replay_trace",
 ]

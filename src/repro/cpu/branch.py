@@ -9,7 +9,6 @@ drives the Flushed-state behaviour the profilers must attribute.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 
@@ -45,14 +44,22 @@ class _TaggedTable:
             ((1 << self.tag_bits) - 1)
 
 
-@dataclass
 class Prediction:
-    taken: bool
-    #: Which table provided the prediction (-1 = bimodal base).
-    provider: int
-    #: Global history at prediction time (checkpointed so the update
-    #: indexes the same table entries the lookup used).
-    history: int = 0
+    """One TAGE lookup result (allocated once per fetched branch)."""
+
+    __slots__ = ("taken", "provider", "history")
+
+    def __init__(self, taken: bool, provider: int, history: int = 0):
+        self.taken = taken
+        #: Which table provided the prediction (-1 = bimodal base).
+        self.provider = provider
+        #: Global history at prediction time (checkpointed so the
+        #: update indexes the same table entries the lookup used).
+        self.history = history
+
+    def __repr__(self) -> str:
+        return (f"Prediction(taken={self.taken}, "
+                f"provider={self.provider}, history={self.history})")
 
 
 class TagePredictor:

@@ -40,6 +40,11 @@ class SimulationError(RuntimeError):
 class CoreStats:
     """Aggregate statistics of one simulation run."""
 
+    __slots__ = ("cycles", "committed", "fetched",
+                 "branch_mispredicts", "csr_flushes", "exceptions",
+                 "ordering_flushes", "commit_hist",
+                 "sampling_interrupts")
+
     def __init__(self):
         self.cycles = 0
         self.committed = 0

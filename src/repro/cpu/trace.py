@@ -98,6 +98,18 @@ class TraceObserver:
     def on_cycle(self, record: CycleRecord) -> None:
         raise NotImplementedError
 
+    def on_block(self, block) -> None:
+        """Consume a :class:`~repro.fastpath.CycleBlock` of records.
+
+        The block engine (:mod:`repro.fastpath`) hands observers whole
+        chunks of consecutive cycles at once.  The default implementation
+        materializes each record and falls back to :meth:`on_cycle`, so
+        observers that never opt in behave identically under either
+        engine; observers with a columnar fast path override this.
+        """
+        for record in block.records():
+            self.on_cycle(record)
+
     def on_finish(self, final_cycle: int) -> None:
         """Called once when the simulation ends."""
 

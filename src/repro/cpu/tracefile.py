@@ -466,38 +466,119 @@ def read_trace(stream: BinaryIO) -> Iterator[CycleRecord]:
     return _read_trace_v2(stream, banks, compressed)
 
 
-def read_index(source: Union[BinaryIO, bytes, str]) -> TraceIndex:
-    """Scan a v2 trace and return its chunk directory.
+def _scan_index(stream: BinaryIO) -> TraceIndex:
+    """Scan an open v2 stream (positioned at 0) for its chunk directory.
 
     Only chunk headers are read; payloads are skipped, so indexing a
     large trace is cheap.  Raises :class:`ValueError` for v1 traces
     (convert them with :func:`convert_v1_to_v2` first).
     """
+    version, banks, compressed, chunk_cycles = _read_file_header(stream)
+    if version != 2:
+        raise ValueError(
+            "trace is format v1: no chunk index (convert with "
+            "convert_v1_to_v2 / `repro convert-trace`)")
+    chunks: List[ChunkInfo] = []
+    while True:
+        header = stream.read(_CHUNK_HDR.size)
+        if not header:
+            break
+        if len(header) < _CHUNK_HDR.size:
+            raise ValueError("truncated chunk header")
+        start_cycle, n_records, payload_bytes, raw_bytes, carry = \
+            _unpack_chunk_header(header)
+        offset = stream.tell()
+        chunks.append(ChunkInfo(start_cycle, n_records, offset,
+                                payload_bytes, raw_bytes, carry))
+        stream.seek(payload_bytes, io.SEEK_CUR)
+    return TraceIndex(banks, compressed, chunk_cycles, chunks)
+
+
+def read_index(source: Union[BinaryIO, bytes, str]) -> TraceIndex:
+    """Scan a v2 trace and return its chunk directory."""
     stream, owns = _open_source(source)
     try:
-        version, banks, compressed, chunk_cycles = \
-            _read_file_header(stream)
-        if version != 2:
-            raise ValueError(
-                "trace is format v1: no chunk index (convert with "
-                "convert_v1_to_v2 / `repro convert-trace`)")
-        chunks: List[ChunkInfo] = []
-        while True:
-            header = stream.read(_CHUNK_HDR.size)
-            if not header:
-                break
-            if len(header) < _CHUNK_HDR.size:
-                raise ValueError("truncated chunk header")
-            start_cycle, n_records, payload_bytes, raw_bytes, carry = \
-                _unpack_chunk_header(header)
-            offset = stream.tell()
-            chunks.append(ChunkInfo(start_cycle, n_records, offset,
-                                    payload_bytes, raw_bytes, carry))
-            stream.seek(payload_bytes, io.SEEK_CUR)
-        return TraceIndex(banks, compressed, chunk_cycles, chunks)
+        return _scan_index(stream)
     finally:
         if owns:
             stream.close()
+
+
+class TraceReaderV2:
+    """Open-once random-access reader over a chunk-indexed v2 trace.
+
+    Opens the source a single time, scans the chunk directory, and
+    serves chunk reads by seeking within the same open stream.  This is
+    what shard workers use: the earlier :func:`read_chunk` helper
+    reopens the trace file on *every* chunk read, which costs one
+    ``open``/``close`` syscall pair per chunk and defeats OS readahead;
+    a reader amortizes the open over the whole shard.
+
+    Usable as a context manager::
+
+        with TraceReaderV2(path) as reader:
+            for chunk in reader.index.chunks:
+                records = reader.chunk_records(chunk)
+    """
+
+    def __init__(self, source: Union[BinaryIO, bytes, str]):
+        self._stream, self._owns = _open_source(source)
+        try:
+            # A caller (or a fork parent) may have consumed the stream
+            # already; the chunk directory scan needs position 0 and
+            # all later reads seek absolutely anyway.
+            if not self._owns and self._stream.seekable():
+                self._stream.seek(0)
+            self.index = _scan_index(self._stream)
+        except Exception:
+            self.close()
+            raise
+
+    @property
+    def banks(self) -> int:
+        return self.index.banks
+
+    def chunk_payload(self, chunk: ChunkInfo) -> bytes:
+        """The raw (decompressed) record bytes of one chunk."""
+        self._stream.seek(chunk.offset)
+        payload = self._stream.read(chunk.payload_bytes)
+        if len(payload) < chunk.payload_bytes:
+            raise ValueError("truncated chunk payload")
+        raw = zlib.decompress(payload) if self.index.compressed \
+            else payload
+        if len(raw) != chunk.raw_bytes:
+            raise ValueError("chunk payload size mismatch")
+        return raw
+
+    def chunk_records(self, chunk: ChunkInfo) -> List[CycleRecord]:
+        """Decode the records of one chunk."""
+        raw = self.chunk_payload(chunk)
+        records = []
+        pos = 0
+        for i in range(chunk.n_records):
+            record, pos = _decode_record(raw, pos,
+                                         chunk.start_cycle + i,
+                                         self.index.banks)
+            records.append(record)
+        if pos != len(raw):
+            raise ValueError("trailing bytes in trace chunk")
+        return records
+
+    def records(self) -> Iterator[CycleRecord]:
+        """Iterate over every record of the trace in cycle order."""
+        for chunk in self.index.chunks:
+            for record in self.chunk_records(chunk):
+                yield record
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "TraceReaderV2":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 def read_chunk(source: Union[BinaryIO, bytes, str], index: TraceIndex,

@@ -1,0 +1,159 @@
+"""``repro bench --trace``: cycle-versus-block replay engine timing.
+
+Times each stock profiler (plus the Oracle, plus one run with all of
+them attached at once) replaying the same recorded v2 trace under both
+engines and writes the comparison to ``BENCH_hotpath.json``.  Every
+profiler's sample-stream checksum and final profile are also compared
+across engines, so the benchmark doubles as a differential test: the
+block engine is only a win if it is *bit-identical* and faster, and CI
+fails the run when any checksum diverges.
+
+Timings are best-of-N wall clock on the current machine (N=2 with
+``quick=True`` for CI smoke runs, N=5 otherwise).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.profiles import profile_checksum
+from ..core.oracle import OracleProfiler
+from ..cpu.tracefile import replay_trace
+from ..isa.program import Program
+from .engine import replay_blocks
+
+#: The seven sampling policies timed by the hot-path benchmark.
+HOTPATH_POLICIES = ("Software", "Dispatch", "LCI", "NCI", "NCI+ILP",
+                    "TIP-ILP", "TIP")
+#: Synthetic row keys for the non-policy measurements.
+ORACLE_ROW = "Oracle"
+ALL_ROW = "all"
+
+DEFAULT_REPEATS = 5
+QUICK_REPEATS = 2
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_hotpath_bench(trace, image: Program,
+                      output: Optional[str] = "BENCH_hotpath.json",
+                      period: int = 23,
+                      mode: str = "random",
+                      seed: int = 2021,
+                      policies: Sequence[str] = HOTPATH_POLICIES,
+                      quick: bool = False,
+                      repeats: Optional[int] = None,
+                      verbose: bool = False) -> Dict:
+    """Benchmark cycle-versus-block replay on *trace* (bytes or path).
+
+    *image* is the booted :class:`~repro.isa.program.Program` the trace
+    was recorded from (needed by TIP and the Oracle for stall
+    classification).  Returns the result dict and, unless *output* is
+    ``None``, writes it there as JSON.
+    """
+    from ..harness.experiment import ProfilerConfig
+
+    if isinstance(trace, str):
+        with open(trace, "rb") as handle:
+            trace = handle.read()
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+
+    configs = {policy: ProfilerConfig(policy, period, mode, seed)
+               for policy in policies}
+
+    def build(policy: str):
+        return configs[policy].build(image)
+
+    def build_all() -> List:
+        observers = [build(policy) for policy in policies]
+        observers.append(OracleProfiler(image))
+        return observers
+
+    result: Dict = {
+        "period": period,
+        "mode": mode,
+        "seed": seed,
+        "repeats": repeats,
+        "quick": quick,
+        "trace_bytes": len(trace),
+        "rows": {},
+    }
+
+    checksums_equal = True
+    rows = list(policies) + [ORACLE_ROW, ALL_ROW]
+    for row in rows:
+        if verbose:
+            print(f"[bench] hotpath {row} ...", flush=True)
+        if row == ALL_ROW:
+            make = build_all
+        elif row == ORACLE_ROW:
+            def make():
+                return [OracleProfiler(image)]
+        else:
+            def make(policy=row):
+                return [build(policy)]
+
+        # Correctness first: one untimed run per engine, checksums
+        # compared before any timing is trusted.
+        cycle_obs = make()
+        cycles = replay_trace(trace, *cycle_obs)
+        block_obs = make()
+        replay_blocks(trace, *block_obs)
+        equal = True
+        for a, b in zip(cycle_obs, block_obs):
+            if isinstance(a, OracleProfiler):
+                equal &= a.report.profile == b.report.profile
+            else:
+                equal &= (profile_checksum(a.samples)
+                          == profile_checksum(b.samples))
+                equal &= a.profile() == b.profile()
+        checksums_equal &= equal
+
+        cycle_s = _best_of(lambda: replay_trace(trace, *make()),
+                           repeats)
+        block_s = _best_of(lambda: replay_blocks(trace, *make()),
+                           repeats)
+        result["rows"][row] = {
+            "cycle_s": cycle_s,
+            "block_s": block_s,
+            "speedup": cycle_s / block_s,
+            "checksums_equal": equal,
+        }
+    result["cycles"] = cycles
+    result["checksums_equal"] = checksums_equal
+
+    if output is not None:
+        with open(output, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if verbose:
+            print(f"[bench] wrote {output}", flush=True)
+    return result
+
+
+def render_hotpath_bench(result: Dict) -> str:
+    """Human-readable one-screen summary of a hot-path bench result."""
+    lines: List[str] = []
+    lines.append(f"cycle-vs-block replay, {result['cycles']} cycles, "
+                 f"best of {result['repeats']}")
+    for row, entry in result["rows"].items():
+        flag = "" if entry["checksums_equal"] else "  MISMATCH"
+        lines.append(f"{row:>10}: cycle {entry['cycle_s'] * 1e3:8.2f}ms  "
+                     f"block {entry['block_s'] * 1e3:8.2f}ms  "
+                     f"speedup {entry['speedup']:.2f}x{flag}")
+    lines.append("engine checksums: "
+                 + ("OK (block identical to cycle)"
+                    if result["checksums_equal"] else "MISMATCH"))
+    return "\n".join(lines)

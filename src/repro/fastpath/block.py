@@ -1,0 +1,433 @@
+"""Columnar cycle blocks: the unit of batched trace replay.
+
+The cycle engine hands every observer one :class:`~repro.cpu.trace.
+CycleRecord` object per cycle, which costs an object allocation, a
+tuple of ``CommittedInst`` objects and a Python method call per
+observer per cycle.  A :class:`CycleBlock` decodes a whole v2 chunk
+into *parallel arrays* instead -- one column per record field, with
+variable-length fields flattened behind prefix-sum offset arrays -- so
+the per-cycle hot path becomes integer indexing into shared columns.
+
+Packed representation (``n`` = number of records in the block):
+
+* ``flags``                -- ``bytearray`` of ``n`` raw per-record
+  flag bytes (empty/exception/ordering/dispatch-pc/head bits of the
+  trace wire format);
+* ``oldest_bank``          -- ``bytearray`` of ``n``;
+* ``fetch_pc``             -- list of ``n`` ints;
+* ``opt_vals``/``opt_base`` -- the present optional u64 fields
+  (``rob_head``, ``exception``, ``dispatch_pc``, in wire order) of all
+  records flattened into one list behind an ``array('I')`` of ``n + 1``
+  prefix offsets;
+* ``commit_base``          -- ``array('I')`` of ``n + 1`` prefix
+  offsets into the flattened commit columns;
+* ``commit_addr``          -- flattened committed addresses (ints);
+* ``commit_meta``          -- ``bytearray``, one metadata byte per
+  committed instruction (``bank | mispredicted << 6 | flushes << 7``,
+  the trace wire format);
+* ``disp_base``/``disp_addr`` -- same layout for dispatched addresses.
+
+Keeping the decode loop down to this packed form is what makes it
+fast; the classic dense columns (``rob_empty``, ``rob_head``,
+``exception``, ``exc_ordering``, ``dispatch_pc``) are *derived lazily*
+and cached -- flag bits expand through ``bytearray.translate`` and the
+optional columns through one list comprehension each -- so observers
+that touch every cycle (the Oracle) pay one C-speed pass per column
+while sampling profilers use the sparse ``*_at`` accessors and index
+lists and never materialize them.
+
+Sparse *index lists* (cycles with commits, with dispatches, with a
+dispatch-stage PC, and the OIR state sequence) are likewise lazy and
+shared, letting sampling profilers jump straight to the next cycle
+that matters (``bisect`` over a sorted int list) instead of visiting
+every record.
+
+Blocks are built two ways: :func:`decode_block` parses a raw v2 chunk
+payload straight into columns (no intermediate record objects), and
+:meth:`CycleBlock.from_records` columnarizes live records (the
+simulation-side :class:`~repro.fastpath.engine.BlockAssembler`).
+``record(i)``/``records()`` materialize classic ``CycleRecord``
+objects on demand for observers without a columnar fast path.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..cpu.trace import CommittedInst, CycleRecord, HeadEntry
+
+#: Per-record header (flags, counts, oldest bank) fused with the
+#: always-present fetch PC -- one unpack per record.
+_HDRPC = struct.Struct("<BBBQ")
+#: Small-run unpackers for k consecutive u64s (optional fields and
+#: dispatch groups).
+_QFMT = tuple(struct.Struct("<%dQ" % k) for k in range(16))
+#: Commit-group unpackers: k (addr u64, meta byte) pairs at once.
+_CFMT = tuple(struct.Struct("<" + "QB" * k) for k in range(16))
+
+_F_EMPTY = 1 << 0
+_F_EXC = 1 << 1
+_F_ORD = 1 << 2
+_F_DISP_PC = 1 << 3
+_F_HEAD = 1 << 4
+
+#: flags byte -> number of optional u64s following the fetch PC.
+_NOPT = tuple(bin(f & (_F_EXC | _F_DISP_PC | _F_HEAD)).count("1")
+              for f in range(256))
+#: ``translate`` tables expanding one flag bit into a 0/1 column.
+_EMPTY_TABLE = bytes(1 if f & _F_EMPTY else 0 for f in range(256))
+_ORD_TABLE = bytes(1 if f & _F_ORD else 0 for f in range(256))
+
+#: OIR flag values mirrored from the profilers (TIP Figure 5).
+OIR_NONE = 0
+OIR_MISPREDICT = 1
+OIR_FLUSH = 2
+OIR_EXCEPTION = 3
+
+
+class CycleBlock:
+    """A batch of consecutive cycles in columnar form."""
+
+    __slots__ = (
+        "start_cycle", "n", "banks", "flags", "oldest_bank", "fetch_pc",
+        "opt_vals", "opt_base", "commit_base", "commit_addr",
+        "commit_meta", "disp_base", "disp_addr", "_rob_empty",
+        "_rob_head", "_exception", "_exc_ordering", "_dispatch_pc",
+        "_commit_cycles", "_disp_cycles", "_disp_pc_cycles",
+        "_oir_states",
+    )
+
+    def __init__(self, start_cycle: int, n: int, banks: int,
+                 flags: bytearray, oldest_bank: bytearray,
+                 fetch_pc: List[int], opt_vals: List[int],
+                 opt_base: "array", commit_base: "array",
+                 commit_addr: List[int], commit_meta: bytearray,
+                 disp_base: "array", disp_addr: List[int]):
+        self.start_cycle = start_cycle
+        self.n = n
+        self.banks = banks
+        self.flags = flags
+        self.oldest_bank = oldest_bank
+        self.fetch_pc = fetch_pc
+        self.opt_vals = opt_vals
+        self.opt_base = opt_base
+        self.commit_base = commit_base
+        self.commit_addr = commit_addr
+        self.commit_meta = commit_meta
+        self.disp_base = disp_base
+        self.disp_addr = disp_addr
+        self._rob_empty: Optional[bytearray] = None
+        self._rob_head: Optional[List[Optional[int]]] = None
+        self._exception: Optional[List[Optional[int]]] = None
+        self._exc_ordering: Optional[bytearray] = None
+        self._dispatch_pc: Optional[List[Optional[int]]] = None
+        self._commit_cycles: Optional[List[int]] = None
+        self._disp_cycles: Optional[List[int]] = None
+        self._disp_pc_cycles: Optional[List[int]] = None
+        self._oir_states = None
+
+    # -- sparse accessors (cheap point lookups, no materialization) ----------------
+
+    def rob_empty_at(self, i: int) -> int:
+        return self.flags[i] & _F_EMPTY
+
+    def rob_head_at(self, i: int) -> Optional[int]:
+        # The head address is the first optional u64 when present.
+        if self.flags[i] & _F_HEAD:
+            return self.opt_vals[self.opt_base[i]]
+        return None
+
+    def exception_at(self, i: int) -> Optional[int]:
+        flags = self.flags[i]
+        if flags & _F_EXC:
+            return self.opt_vals[self.opt_base[i]
+                                 + ((flags >> 4) & 1)]
+        return None
+
+    def dispatch_pc_at(self, i: int) -> Optional[int]:
+        # The dispatch-stage PC is the last optional u64 when present.
+        if self.flags[i] & _F_DISP_PC:
+            return self.opt_vals[self.opt_base[i + 1] - 1]
+        return None
+
+    # -- dense columns (lazy, shared by every observer that needs them) ------------
+
+    @property
+    def rob_empty(self) -> bytearray:
+        if self._rob_empty is None:
+            self._rob_empty = self.flags.translate(_EMPTY_TABLE)
+        return self._rob_empty
+
+    @property
+    def exc_ordering(self) -> bytearray:
+        if self._exc_ordering is None:
+            self._exc_ordering = self.flags.translate(_ORD_TABLE)
+        return self._exc_ordering
+
+    @property
+    def rob_head(self) -> List[Optional[int]]:
+        if self._rob_head is None:
+            vals, base, flags = self.opt_vals, self.opt_base, self.flags
+            self._rob_head = [vals[base[i]] if flags[i] & _F_HEAD
+                              else None for i in range(self.n)]
+        return self._rob_head
+
+    @property
+    def exception(self) -> List[Optional[int]]:
+        if self._exception is None:
+            vals, base, flags = self.opt_vals, self.opt_base, self.flags
+            self._exception = [
+                vals[base[i] + ((flags[i] >> 4) & 1)]
+                if flags[i] & _F_EXC else None
+                for i in range(self.n)]
+        return self._exception
+
+    @property
+    def dispatch_pc(self) -> List[Optional[int]]:
+        if self._dispatch_pc is None:
+            vals, base, flags = self.opt_vals, self.opt_base, self.flags
+            self._dispatch_pc = [
+                vals[base[i + 1] - 1] if flags[i] & _F_DISP_PC
+                else None for i in range(self.n)]
+        return self._dispatch_pc
+
+    # -- derived index lists (lazy, shared by every observer) ---------------------
+
+    @property
+    def commit_cycles(self) -> List[int]:
+        """Sorted record indices that commit at least one instruction."""
+        if self._commit_cycles is None:
+            base = self.commit_base
+            self._commit_cycles = [i for i in range(self.n)
+                                   if base[i + 1] > base[i]]
+        return self._commit_cycles
+
+    @property
+    def disp_cycles(self) -> List[int]:
+        """Sorted record indices with a non-empty dispatch group."""
+        if self._disp_cycles is None:
+            base = self.disp_base
+            self._disp_cycles = [i for i in range(self.n)
+                                 if base[i + 1] > base[i]]
+        return self._disp_cycles
+
+    @property
+    def disp_pc_cycles(self) -> List[int]:
+        """Sorted record indices with a valid dispatch-stage PC."""
+        if self._disp_pc_cycles is None:
+            flags = self.flags
+            self._disp_pc_cycles = [i for i in range(self.n)
+                                    if flags[i] & _F_DISP_PC]
+        return self._disp_pc_cycles
+
+    @property
+    def oir_states(self) -> Tuple[List[int], List[int], List[int]]:
+        """OIR update sequence ``(indices, addrs, flags)``.
+
+        Entry *k* gives the OIR mirror *after* consuming record
+        ``indices[k]``, following TIP's update unit: the youngest
+        committing instruction wins; an exception updates the OIR only
+        on cycles that commit nothing (matching
+        :meth:`~repro.core.tip.TipProfiler._update_state`).
+        """
+        if self._oir_states is None:
+            idx: List[int] = []
+            addrs: List[int] = []
+            flags: List[int] = []
+            base = self.commit_base
+            cm = self.commit_meta
+            ca = self.commit_addr
+            for i in self.commit_cycles:
+                youngest = base[i + 1] - 1
+                meta = cm[youngest]
+                if meta & 0x40:
+                    flag = OIR_MISPREDICT
+                elif meta & 0x80:
+                    flag = OIR_FLUSH
+                else:
+                    flag = OIR_NONE
+                idx.append(i)
+                addrs.append(ca[youngest])
+                flags.append(flag)
+            record_flags = self.flags
+            exc_only = [i for i in range(self.n)
+                        if record_flags[i] & _F_EXC
+                        and base[i + 1] == base[i]]
+            if exc_only:
+                for i in exc_only:
+                    idx.append(i)
+                    addrs.append(self.exception_at(i))
+                    flags.append(OIR_EXCEPTION)
+                order = sorted(range(len(idx)), key=idx.__getitem__)
+                idx = [idx[k] for k in order]
+                addrs = [addrs[k] for k in order]
+                flags = [flags[k] for k in order]
+            self._oir_states = (idx, addrs, flags)
+        return self._oir_states
+
+    # -- record materialization ----------------------------------------------------
+
+    def record(self, i: int) -> CycleRecord:
+        """Materialize record *i* as a classic :class:`CycleRecord`.
+
+        Matches the cycle engine's decoder bit for bit; like the wire
+        format, only the oldest bank's head entry is represented in
+        ``head_banks``.
+        """
+        lo, hi = self.commit_base[i], self.commit_base[i + 1]
+        committed = tuple(
+            CommittedInst(self.commit_addr[k], self.commit_meta[k] & 0x3F,
+                          bool(self.commit_meta[k] & 0x40),
+                          bool(self.commit_meta[k] & 0x80))
+            for k in range(lo, hi))
+        dlo, dhi = self.disp_base[i], self.disp_base[i + 1]
+        rob_head = self.rob_head_at(i)
+        head_banks: List[Optional[HeadEntry]] = [None] * self.banks
+        if rob_head is not None:
+            head_banks[self.oldest_bank[i]] = HeadEntry(rob_head, False)
+        return CycleRecord(
+            cycle=self.start_cycle + i, committed=committed,
+            rob_head=rob_head, rob_empty=bool(self.flags[i] & _F_EMPTY),
+            exception=self.exception_at(i),
+            exception_is_ordering=bool(self.flags[i] & _F_ORD),
+            dispatched=tuple(self.disp_addr[dlo:dhi]),
+            dispatch_pc=self.dispatch_pc_at(i),
+            fetch_pc=self.fetch_pc[i],
+            head_banks=tuple(head_banks), oldest_bank=self.oldest_bank[i])
+
+    def records(self) -> Iterator[CycleRecord]:
+        """Materialize every record (the ``on_cycle`` fallback path)."""
+        for i in range(self.n):
+            yield self.record(i)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return (f"<block [{self.start_cycle}, "
+                f"{self.start_cycle + self.n}) commits="
+                f"{len(self.commit_addr)}>")
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence[CycleRecord],
+                     banks: int) -> "CycleBlock":
+        """Columnarize live *records* (consecutive cycles).
+
+        Like the trace wire format, only fields every observer can see
+        through a trace are preserved; richer simulation-only head-bank
+        detail is dropped.
+        """
+        n = len(records)
+        flags = bytearray()
+        oldest = bytearray()
+        fetch_pc: List[int] = []
+        opt_vals: List[int] = []
+        opt_base = array("I", [0])
+        commit_base = array("I", [0])
+        commit_addr: List[int] = []
+        commit_meta = bytearray()
+        disp_base = array("I", [0])
+        disp_addr: List[int] = []
+        for record in records:
+            record_flags = 0
+            if record.rob_empty:
+                record_flags |= _F_EMPTY
+            if record.exception_is_ordering:
+                record_flags |= _F_ORD
+            if record.rob_head is not None:
+                record_flags |= _F_HEAD
+                opt_vals.append(record.rob_head)
+            if record.exception is not None:
+                record_flags |= _F_EXC
+                opt_vals.append(record.exception)
+            if record.dispatch_pc is not None:
+                record_flags |= _F_DISP_PC
+                opt_vals.append(record.dispatch_pc)
+            flags.append(record_flags)
+            opt_base.append(len(opt_vals))
+            oldest.append(record.oldest_bank)
+            fetch_pc.append(record.fetch_pc)
+            for commit in record.committed:
+                commit_addr.append(commit.addr)
+                commit_meta.append(
+                    (commit.bank & 0x3F)
+                    | (0x40 if commit.mispredicted else 0)
+                    | (0x80 if commit.flushes else 0))
+            commit_base.append(len(commit_addr))
+            disp_addr.extend(record.dispatched)
+            disp_base.append(len(disp_addr))
+        start = records[0].cycle if n else 0
+        return cls(start, n, banks, flags, oldest, fetch_pc, opt_vals,
+                   opt_base, commit_base, commit_addr, commit_meta,
+                   disp_base, disp_addr)
+
+
+def decode_block(raw: bytes, start_cycle: int, n_records: int,
+                 banks: int) -> CycleBlock:
+    """Decode a raw (decompressed) v2 chunk payload into columns.
+
+    Parses the shared per-record wire format of
+    :mod:`repro.cpu.tracefile` without creating any per-record objects:
+    one fused header+PC unpack per record, one batched unpack each for
+    the optional u64 run, the commit group and the dispatch group.
+    """
+    hdrpc_unpack = _HDRPC.unpack_from
+    nopt = _NOPT
+    qfmt = _QFMT
+    cfmt = _CFMT
+    flags_col = bytearray()
+    flags_append = flags_col.append
+    oldest = bytearray()
+    oldest_append = oldest.append
+    fetch_pc: List[int] = []
+    fetch_append = fetch_pc.append
+    opt_vals: List[int] = []
+    opt_extend = opt_vals.extend
+    opt_base = array("I", [0])
+    opt_base_append = opt_base.append
+    commit_base = array("I", [0])
+    commit_base_append = commit_base.append
+    commit_addr: List[int] = []
+    commit_addr_extend = commit_addr.extend
+    commit_meta = bytearray()
+    commit_meta_extend = commit_meta.extend
+    disp_base = array("I", [0])
+    disp_base_append = disp_base.append
+    disp_addr: List[int] = []
+    disp_addr_extend = disp_addr.extend
+    pos = 0
+    try:
+        for _ in range(n_records):
+            flags, counts, oldest_bank, pc = hdrpc_unpack(raw, pos)
+            pos += 11
+            flags_append(flags)
+            oldest_append(oldest_bank)
+            fetch_append(pc)
+            k = nopt[flags]
+            if k:
+                opt_extend(qfmt[k].unpack_from(raw, pos))
+                pos += 8 * k
+            opt_base_append(len(opt_vals))
+            nc = counts & 0xF
+            if nc:
+                group = cfmt[nc].unpack_from(raw, pos)
+                pos += 9 * nc
+                commit_addr_extend(group[::2])
+                commit_meta_extend(group[1::2])
+            commit_base_append(len(commit_addr))
+            nd = counts >> 4
+            if nd:
+                disp_addr_extend(qfmt[nd].unpack_from(raw, pos))
+                pos += 8 * nd
+            disp_base_append(len(disp_addr))
+    except (struct.error, IndexError):
+        raise ValueError("truncated trace record") from None
+    if pos != len(raw):
+        raise ValueError("trailing bytes in trace chunk")
+    return CycleBlock(start_cycle, n_records, banks, flags_col, oldest,
+                      fetch_pc, opt_vals, opt_base, commit_base,
+                      commit_addr, commit_meta, disp_base, disp_addr)

@@ -1,0 +1,137 @@
+"""Replay engines: record-at-a-time versus columnar blocks.
+
+Two interchangeable ways to drive :class:`~repro.cpu.trace.
+TraceObserver` sets over a recorded trace:
+
+* the **cycle** engine (:func:`~repro.cpu.tracefile.replay_trace`) --
+  decode one :class:`CycleRecord` per cycle and call ``on_cycle`` on
+  every observer;
+* the **block** engine (:func:`replay_blocks`) -- decode each v2 chunk
+  into a columnar :class:`~repro.fastpath.block.CycleBlock` and call
+  ``on_block`` once per observer per chunk.  Observers without a
+  columnar fast path transparently fall back to a loop over
+  ``on_cycle`` (the :class:`~repro.cpu.trace.TraceObserver` default),
+  so the two engines produce bit-identical results by construction --
+  the block engine only changes *how often Python function calls
+  happen*, never what the observers see.
+
+:func:`replay_with_engine` picks an engine with automatic degradation
+(v1 traces have no chunk index and replay record-at-a-time), and
+:class:`BlockAssembler` brings the same batching to live simulation:
+it buffers the core's per-cycle records and dispatches whole blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple, Union
+
+from ..cpu.trace import CycleRecord, TraceObserver
+from ..cpu.tracefile import TraceReaderV2, replay_trace
+from .block import CycleBlock, decode_block
+
+#: Engine names accepted across the CLI and the replay entry points.
+CYCLE_ENGINE = "cycle"
+BLOCK_ENGINE = "block"
+ENGINES = (CYCLE_ENGINE, BLOCK_ENGINE)
+
+#: Records per block when batching live simulation output.
+DEFAULT_ASSEMBLE_CYCLES = 1024
+
+TraceSource = Union[bytes, str, object]
+
+
+def validate_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown replay engine {engine!r} "
+                         f"(expected one of {ENGINES})")
+    return engine
+
+
+def replay_blocks(source: TraceSource,
+                  *observers: TraceObserver) -> int:
+    """Replay a v2 trace through *observers* one chunk-block at a time.
+
+    Returns the cycle count.  Raises :class:`ValueError` for v1
+    traces (no chunk directory) -- use :func:`replay_with_engine` for
+    automatic fallback.
+    """
+    final_cycle = 0
+    with TraceReaderV2(source) as reader:
+        banks = reader.banks
+        for chunk in reader.index.chunks:
+            block = decode_block(reader.chunk_payload(chunk),
+                                 chunk.start_cycle, chunk.n_records,
+                                 banks)
+            for observer in observers:
+                observer.on_block(block)
+            final_cycle = chunk.start_cycle + chunk.n_records - 1
+    for observer in observers:
+        observer.on_finish(final_cycle)
+    return final_cycle + 1
+
+
+def replay_with_engine(source: TraceSource,
+                       observers: Iterable[TraceObserver],
+                       engine: str = BLOCK_ENGINE) -> Tuple[int, str]:
+    """Replay *source* with the requested engine, degrading gracefully.
+
+    Returns ``(cycles, engine_used)``; ``engine_used`` is ``"cycle"``
+    when a block replay was requested but the trace is v1 (flat
+    streams cannot be chunk-decoded).
+    """
+    observers = tuple(observers)
+    validate_engine(engine)
+    if engine == BLOCK_ENGINE:
+        try:
+            return replay_blocks(source, *observers), BLOCK_ENGINE
+        except ValueError:
+            # v1 trace: no chunk index.  Nothing has been consumed
+            # (the reader fails on the magic) except a seekable
+            # stream's header bytes; rewind those.
+            if hasattr(source, "seek"):
+                source.seek(0)
+    return replay_trace(source, *observers), CYCLE_ENGINE
+
+
+class BlockAssembler(TraceObserver):
+    """Batches a live per-cycle record stream into cycle blocks.
+
+    Attach one assembler to a :class:`~repro.cpu.machine.Machine`
+    instead of attaching N observers directly: the core then pays one
+    ``on_cycle`` call per cycle (buffering the record) and the wrapped
+    observers consume columnar blocks -- the same end-to-end batching
+    the block replay engine applies to recorded traces.
+
+    Like the trace wire format, blocks carry only the head entry of
+    the oldest ROB bank, so observers that inspect the full
+    ``head_banks`` detail (none of the stock profilers do) should stay
+    attached directly.
+    """
+
+    def __init__(self, observers: Iterable[TraceObserver], banks: int,
+                 block_cycles: int = DEFAULT_ASSEMBLE_CYCLES):
+        if block_cycles < 1:
+            raise ValueError("block_cycles must be >= 1")
+        self.observers = list(observers)
+        self.banks = banks
+        self.block_cycles = block_cycles
+        self.blocks_dispatched = 0
+        self._buffer: List[CycleRecord] = []
+
+    def on_cycle(self, record: CycleRecord) -> None:
+        self._buffer.append(record)
+        if len(self._buffer) >= self.block_cycles:
+            self._flush()
+
+    def on_finish(self, final_cycle: int) -> None:
+        if self._buffer:
+            self._flush()
+        for observer in self.observers:
+            observer.on_finish(final_cycle)
+
+    def _flush(self) -> None:
+        block = CycleBlock.from_records(self._buffer, self.banks)
+        self._buffer = []
+        for observer in self.observers:
+            observer.on_block(block)
+        self.blocks_dispatched += 1

@@ -127,14 +127,27 @@ def run_experiment(program: Program,
                    config: Optional[CoreConfig] = None,
                    premapped_data: Optional[List[Tuple[int, int]]] = None,
                    max_cycles: int = 10_000_000,
-                   sanitize: bool = False) -> ExperimentResult:
+                   sanitize: bool = False,
+                   engine: str = "cycle") -> ExperimentResult:
     """Simulate *program* once with all *profilers* attached out-of-band.
 
     With *sanitize* a :class:`~repro.lint.TraceSanitizer` validates the
     commit trace against the invariants every profiler depends on,
     raising :class:`~repro.lint.TraceInvariantError` on the first
     violation.
+
+    With ``engine="block"`` the sampling profilers are fed through a
+    :class:`~repro.fastpath.BlockAssembler` that batches the live
+    record stream into columnar blocks (one core-side call per cycle
+    instead of one per profiler).  The Oracle and the sanitizer stay
+    attached directly: the Oracle needs per-cycle watch-schedule
+    bookkeeping and the sanitizer's fail-fast diagnostics should point
+    at the violating cycle, not a block boundary.  Profiles are
+    bit-identical either way.
     """
+    from ..fastpath.engine import (BLOCK_ENGINE, BlockAssembler,
+                                   validate_engine)
+    validate_engine(engine)
     machine = Machine(program, config, premapped_data)
     image = machine.image
 
@@ -156,9 +169,14 @@ def run_experiment(program: Program,
         if profiler_config.name in built:
             raise ValueError(
                 f"duplicate profiler label {profiler_config.name!r}")
-        profiler = profiler_config.build(image)
-        built[profiler_config.name] = profiler
-        machine.attach(profiler)
+        built[profiler_config.name] = profiler_config.build(image)
+
+    if engine == BLOCK_ENGINE and built:
+        machine.attach(BlockAssembler(built.values(),
+                                      machine.config.rob_banks))
+    else:
+        for profiler in built.values():
+            machine.attach(profiler)
 
     stats = machine.run(max_cycles)
     return ExperimentResult(image, oracle.report, built, stats,
@@ -172,7 +190,8 @@ def replay_experiment(trace, image: Program,
                       spec=None,
                       timeout: Optional[float] = None,
                       retries: int = 1,
-                      verbose: bool = False) -> ExperimentResult:
+                      verbose: bool = False,
+                      engine: str = "block") -> ExperimentResult:
     """Re-profile a recorded trace out-of-band (no re-simulation).
 
     The trace is read **once** no matter how many profilers are
@@ -187,9 +206,16 @@ def replay_experiment(trace, image: Program,
     (chunk-indexed v2 traces only) with bit-identical profiler samples;
     anything non-shardable silently falls back to this serial path.
 
+    *engine* selects how the trace is consumed: ``"block"`` (default)
+    decodes each chunk into a columnar
+    :class:`~repro.fastpath.CycleBlock` that every observer shares
+    (degrading automatically to record-at-a-time for v1 traces), and
+    ``"cycle"`` forces the classic per-record replay.  Both engines
+    produce bit-identical profiles.
+
     ``result.stats`` is ``None`` -- the simulator never ran.  The
     underlying :class:`~repro.parallel.shard.ReplayOutcome` is exposed
-    as ``result.replay`` (mode, shard count, fallback reason).
+    as ``result.replay`` (mode, shard count, engine, fallback reason).
     """
     from ..parallel.shard import replay_serial, replay_sharded
     configs = tuple(profilers)
@@ -200,10 +226,10 @@ def replay_experiment(trace, image: Program,
                                  watch_keys=watch_keys,
                                  sanitize=sanitize, image=image,
                                  timeout=timeout, retries=retries,
-                                 verbose=verbose)
+                                 verbose=verbose, engine=engine)
     else:
         outcome = replay_serial(trace, image, configs, watch_keys,
-                                sanitize)
+                                sanitize, engine)
     result = ExperimentResult(image, outcome.oracle, outcome.profilers,
                               stats=None, sanitizer=outcome.sanitizer)
     result.replay = outcome

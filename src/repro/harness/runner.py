@@ -79,11 +79,13 @@ class SuiteResult:
 def run_workload(workload: Workload,
                  profilers: Sequence[ProfilerConfig],
                  max_cycles: int = 10_000_000,
-                 sanitize: bool = False) -> ExperimentResult:
+                 sanitize: bool = False,
+                 engine: str = "cycle") -> ExperimentResult:
     """Run one workload with the given profiler configurations."""
     return run_experiment(workload.program, profilers,
                           premapped_data=workload.premapped,
-                          max_cycles=max_cycles, sanitize=sanitize)
+                          max_cycles=max_cycles, sanitize=sanitize,
+                          engine=engine)
 
 
 def run_suite(workloads: Optional[Sequence[Workload]] = None,
@@ -96,8 +98,14 @@ def run_suite(workloads: Optional[Sequence[Workload]] = None,
               sanitize: bool = False,
               jobs: int = 1,
               timeout: Optional[float] = None,
-              retries: int = 1) -> SuiteResult:
+              retries: int = 1,
+              engine: str = "cycle") -> SuiteResult:
     """Run the whole suite (or the given workloads).
+
+    *engine* selects how serially-run profilers consume the live trace
+    (``"block"`` batches it through a
+    :class:`~repro.fastpath.BlockAssembler`); parallel suite workers
+    currently always use the cycle engine.
 
     *sanitize* attaches a commit-trace sanitizer to every simulation and
     fails fast on the first invariant violation.
@@ -127,5 +135,6 @@ def run_suite(workloads: Optional[Sequence[Workload]] = None,
             print(f"[suite] running {workload.name} ...", flush=True)
         results[workload.name] = run_workload(workload, profilers,
                                               max_cycles,
-                                              sanitize=sanitize)
+                                              sanitize=sanitize,
+                                              engine=engine)
     return SuiteResult(results)

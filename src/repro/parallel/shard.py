@@ -35,8 +35,10 @@ from ..core.oracle import (OracleProfiler, OracleReport,
                            merge_oracle_snapshots)
 from ..core.profiler import SamplingProfiler
 from ..core.sampling import SampleSchedule
-from ..cpu.tracefile import (TraceIndex, read_chunk, read_index,
-                             replay_trace)
+from ..cpu.tracefile import TraceIndex, TraceReaderV2, read_index
+from ..fastpath.block import decode_block
+from ..fastpath.engine import (BLOCK_ENGINE, CYCLE_ENGINE,
+                               replay_with_engine, validate_engine)
 from ..isa.program import Program
 from ..lint.sanitizer import TraceInvariantError, TraceSanitizer
 from .pool import PoolJob, run_jobs
@@ -92,6 +94,8 @@ class ReplayOutcome:
     shards: int = 1
     #: Why a sharded request fell back to serial (None if it did not).
     fallback_reason: Optional[str] = None
+    #: Replay engine actually used ("cycle" or "block").
+    engine: str = CYCLE_ENGINE
 
 
 def plan_shards(index: TraceIndex, jobs: int) -> List[Tuple[int, int]]:
@@ -147,18 +151,21 @@ def _build_observers(image: Program,
 def replay_shard(trace: TraceSource, lo: int, hi: int,
                  spec: ProgramSpec, configs: Sequence,
                  watch_keys: Sequence[Tuple[int, str, int]] = (),
-                 sanitize: bool = False) -> dict:
+                 sanitize: bool = False,
+                 engine: str = BLOCK_ENGINE) -> dict:
     """Replay chunks ``[lo, hi)`` of *trace*; returns a snapshot dict.
 
     This is the worker-side entry point: it rebuilds the program image,
     cold-starts every observer from the first chunk's carried state,
     replays the shard, and resolves trailing pending samples against
     run-over records.  The returned dict is picklable.
+
+    The trace is opened **once** and chunks are reached by seeking via
+    the chunk directory.  With the (default) block *engine* each chunk
+    payload decodes straight into a columnar block that all observers
+    share; the cycle engine materializes records instead.
     """
-    index = read_index(trace)
-    chunks = index.chunks
-    if not 0 <= lo < hi <= len(chunks):
-        raise ValueError(f"shard [{lo}, {hi}) out of range")
+    validate_engine(engine)
     image = spec.build_image()
     profilers, oracle, sanitizer = _build_observers(
         image, configs, watch_keys, sanitize)
@@ -166,32 +173,47 @@ def replay_shard(trace: TraceSource, lo: int, hi: int,
     if sanitizer is not None:
         observers.append(sanitizer)
 
-    start_cycle = chunks[lo].start_cycle
-    carry = chunks[lo].carry
-    for observer in observers:
-        observer.begin_shard(start_cycle, carry)
+    with TraceReaderV2(trace) as reader:
+        chunks = reader.index.chunks
+        if not 0 <= lo < hi <= len(chunks):
+            raise ValueError(f"shard [{lo}, {hi}) out of range")
+        banks = reader.banks
+        start_cycle = chunks[lo].start_cycle
+        carry = chunks[lo].carry
+        for observer in observers:
+            observer.begin_shard(start_cycle, carry)
 
-    try:
-        for chunk in chunks[lo:hi]:
-            for record in read_chunk(trace, index, chunk):
-                for observer in observers:
-                    observer.on_cycle(record)
-        # Run-over: resolve pendings against the records that follow the
-        # shard (the next shard replays them as its own; here they are
-        # only consulted, never attributed).
-        unsettled = [ob for ob in observers if not ob.shard_settled()]
-        for chunk in chunks[hi:]:
-            if not unsettled:
-                break
-            for record in read_chunk(trace, index, chunk):
-                unsettled = [ob for ob in unsettled
-                             if not ob.resolve_only(record)]
+        try:
+            for chunk in chunks[lo:hi]:
+                if engine == BLOCK_ENGINE:
+                    block = decode_block(reader.chunk_payload(chunk),
+                                         chunk.start_cycle,
+                                         chunk.n_records, banks)
+                    for observer in observers:
+                        observer.on_block(block)
+                else:
+                    for record in reader.chunk_records(chunk):
+                        for observer in observers:
+                            observer.on_cycle(record)
+            # Run-over: resolve pendings against the records that follow
+            # the shard (the next shard replays them as its own; here
+            # they are only consulted, never attributed).
+            unsettled = [ob for ob in observers
+                         if not ob.shard_settled()]
+            for chunk in chunks[hi:]:
                 if not unsettled:
                     break
-    except TraceInvariantError as exc:
-        # Surface sanitizer violations as data, not a worker crash.
-        return {"invariant_violation": exc.diagnostic,
-                "sanitizer": sanitizer.snapshot() if sanitizer else None}
+                for record in reader.chunk_records(chunk):
+                    unsettled = [ob for ob in unsettled
+                                 if not ob.resolve_only(record)]
+                    if not unsettled:
+                        break
+        except TraceInvariantError as exc:
+            # Surface sanitizer violations as data, not a worker crash.
+            return {
+                "invariant_violation": exc.diagnostic,
+                "sanitizer": sanitizer.snapshot() if sanitizer else None,
+            }
 
     return {
         "profilers": {name: profiler.snapshot()
@@ -204,17 +226,23 @@ def replay_shard(trace: TraceSource, lo: int, hi: int,
 def replay_serial(trace: TraceSource, image: Program,
                   configs: Sequence,
                   watch_keys: Sequence[Tuple[int, str, int]] = (),
-                  sanitize: bool = False) -> ReplayOutcome:
-    """One-process reference replay (also the fallback path)."""
+                  sanitize: bool = False,
+                  engine: str = BLOCK_ENGINE) -> ReplayOutcome:
+    """One-process reference replay (also the fallback path).
+
+    A block-engine request degrades to the cycle engine automatically
+    for v1 traces (no chunk directory); the engine actually used is
+    recorded on the outcome.
+    """
     profilers, oracle, sanitizer = _build_observers(
         image, configs, watch_keys, sanitize)
     observers = list(profilers.values()) + [oracle]
     if sanitizer is not None:
         observers.append(sanitizer)
-    cycles = replay_trace(trace, *observers)
+    cycles, engine_used = replay_with_engine(trace, observers, engine)
     oracle.report.total_cycles = cycles
     return ReplayOutcome(profilers, oracle.report, cycles, sanitizer,
-                         mode="serial", shards=1)
+                         mode="serial", shards=1, engine=engine_used)
 
 
 def replay_sharded(trace: TraceSource, spec: ProgramSpec,
@@ -225,7 +253,8 @@ def replay_sharded(trace: TraceSource, spec: ProgramSpec,
                    image: Optional[Program] = None,
                    timeout: Optional[float] = None,
                    retries: int = 1,
-                   verbose: bool = False) -> ReplayOutcome:
+                   verbose: bool = False,
+                   engine: str = BLOCK_ENGINE) -> ReplayOutcome:
     """Replay *trace* with *jobs* parallel shard workers and merge.
 
     Produces bit-identical profiler samples versus
@@ -233,6 +262,7 @@ def replay_sharded(trace: TraceSource, spec: ProgramSpec,
     ``fallback_reason`` set) whenever sharding is not applicable or a
     worker fails.
     """
+    validate_engine(engine)
     if image is None:
         image = spec.build_image()
 
@@ -241,7 +271,7 @@ def replay_sharded(trace: TraceSource, spec: ProgramSpec,
             print(f"[shard] falling back to serial replay: {reason}",
                   flush=True)
         outcome = replay_serial(trace, image, configs, watch_keys,
-                                sanitize)
+                                sanitize, engine)
         outcome.fallback_reason = reason
         return outcome
 
@@ -264,7 +294,7 @@ def replay_sharded(trace: TraceSource, spec: ProgramSpec,
     pool_jobs = [
         PoolJob(name=f"shard{position}", func=replay_shard,
                 args=(trace, lo, hi, spec, tuple(configs),
-                      tuple(watch_keys), sanitize),
+                      tuple(watch_keys), sanitize, engine),
                 timeout=timeout)
         for position, (lo, hi) in enumerate(bounds)
     ]
@@ -291,4 +321,5 @@ def replay_sharded(trace: TraceSource, spec: ProgramSpec,
     if sanitizer is not None:
         sanitizer.absorb([snap["sanitizer"] for snap in snapshots])
     return ReplayOutcome(profilers, oracle_report, cycles, sanitizer,
-                         mode="sharded", shards=len(bounds))
+                         mode="sharded", shards=len(bounds),
+                         engine=engine)
