@@ -27,6 +27,13 @@ Commands
 ``bench --trace trace.bin --program FILE.s``
     Time the cycle-vs-block replay engines on a recorded trace and
     write ``BENCH_hotpath.json`` (``--quick`` for CI smoke runs).
+``bench --sim``
+    Time single-stepping vs the event-driven fast path vs a warm
+    simulation-cache hit and write ``BENCH_sim.json``; fails if any
+    path is not bit-identical to single-stepping.
+``cache stats|clear|verify``
+    Inspect, empty or checksum-verify the simulation cache
+    (``~/.cache/repro`` or ``--cache-dir``/``$REPRO_CACHE_DIR``).
 ``lint TARGET...``
     Statically lint assembly files, directories or benchmark names.
 
@@ -34,6 +41,12 @@ Commands
 to validate the commit-stage trace against the commit invariants while
 it is produced (or replayed), failing fast on the first violation.
 ``suite --jobs N`` simulates benchmarks on N worker processes.
+
+``profile``, ``suite`` and ``record`` accept ``--sim step|fast``
+(default ``fast``: event-driven stall fast-forwarding, bit-identical
+to stepping; ``--paranoid`` cross-checks every fast-forwarded region).
+``profile`` and ``suite`` accept ``--cache``/``--cache-dir`` to reuse
+the traces of previous identical runs instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -47,6 +60,7 @@ from typing import List, Optional
 from .analysis import (Granularity, render_error_table,
                        render_profile_table, render_stacks_table)
 from .core.overhead import summarize
+from .cpu.core import MaxCyclesExceeded
 from .cpu.tracefile import DEFAULT_CHUNK_CYCLES
 from .cpu.config import CoreConfig
 from .harness import default_profilers, run_experiment, run_suite, \
@@ -68,6 +82,38 @@ def _add_sanitize(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sanitize", action="store_true",
                         help="validate the commit trace against the "
                              "commit-stage invariants (fail fast)")
+
+
+def _add_sim(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sim", default="fast",
+                        choices=["fast", "step"],
+                        help="simulation mode: event-driven stall "
+                             "fast-forward (default; bit-identical) "
+                             "or plain single-stepping")
+    parser.add_argument("--paranoid", action="store_true",
+                        help="cross-check every fast-forwarded region "
+                             "against single-stepping")
+
+
+def _add_cache(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache", action="store_true", default=None,
+                        help="reuse/record simulation results in the "
+                             "content-addressed cache")
+    parser.add_argument("--no-cache", dest="cache",
+                        action="store_false",
+                        help="disable the simulation cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root (implies --cache; default "
+                             "~/.cache/repro or $REPRO_CACHE_DIR)")
+
+
+def _cache_arg(args):
+    """The ``cache=`` value for the harness from the CLI flags."""
+    enabled = args.cache if args.cache is not None \
+        else args.cache_dir is not None
+    if not enabled:
+        return None
+    return args.cache_dir or True
 
 
 def _profilers(args):
@@ -92,9 +138,13 @@ def cmd_profile(args) -> int:
     premapped = [(0, 1 << 28)] if args.map_all else None
     result = run_experiment(program, _profilers(args),
                             premapped_data=premapped,
-                            sanitize=args.sanitize)
+                            sanitize=args.sanitize, sim=args.sim,
+                            paranoid=args.paranoid,
+                            cache=_cache_arg(args))
+    cached = " (simulation cache hit)" if result.cached else ""
     print(f"{result.stats.committed} instructions, "
-          f"{result.stats.cycles} cycles, IPC {result.stats.ipc:.2f}\n")
+          f"{result.stats.cycles} cycles, IPC {result.stats.ipc:.2f}"
+          f"{cached}\n")
     if result.sanitizer is not None:
         print(result.sanitizer.summary() + "\n")
     granularity = Granularity(args.granularity)
@@ -117,7 +167,12 @@ def cmd_suite(args) -> int:
     suite = run_suite(workloads, profilers=_profilers(args),
                       scale=args.scale, verbose=True,
                       sanitize=args.sanitize, jobs=args.jobs,
-                      timeout=args.timeout, retries=args.retries)
+                      timeout=args.timeout, retries=args.retries,
+                      sim=args.sim, paranoid=args.paranoid,
+                      cache=_cache_arg(args))
+    hits = sum(1 for result in suite.results.values() if result.cached)
+    if hits:
+        print(f"[suite] {hits} simulation cache hit(s)")
     for granularity in Granularity:
         table = suite.errors(granularity)
         print()
@@ -171,15 +226,22 @@ def cmd_record(args) -> int:
         from .lint import TraceSanitizer
         sanitizer = TraceSanitizer.for_machine(machine)
         machine.attach(sanitizer)
-    with open(args.output, "wb") as out:
-        if args.format == "v1":
+    if args.format == "v1":
+        with open(args.output, "wb") as out:
             machine.attach(TraceWriter(out, machine.config.rob_banks))
-        else:
-            machine.attach(TraceWriterV2(
-                out, machine.config.rob_banks,
-                chunk_cycles=args.chunk_cycles,
-                compress=args.compress))
-        stats = machine.run()
+            stats = machine.run(sim=args.sim, paranoid=args.paranoid)
+    else:
+        # Path mode: the v2 writer is atomic -- a killed run never
+        # leaves a truncated trace at the destination.
+        writer = TraceWriterV2(args.output, machine.config.rob_banks,
+                               chunk_cycles=args.chunk_cycles,
+                               compress=args.compress)
+        machine.attach(writer)
+        try:
+            stats = machine.run(sim=args.sim, paranoid=args.paranoid)
+        except BaseException:
+            writer.abort()
+            raise
     print(f"recorded {stats.cycles} cycles "
           f"({stats.committed} instructions) to {args.output} "
           f"[{args.format}]")
@@ -230,6 +292,8 @@ def cmd_convert_trace(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.sim:
+        return _cmd_bench_sim(args)
     if args.trace:
         if not args.program:
             print("--trace requires --program", file=sys.stderr)
@@ -247,6 +311,40 @@ def cmd_bench(args) -> int:
                        compress=args.compress, verbose=True)
     print(render_bench(result))
     return 0 if result["checksums_equal"] else 1
+
+
+def _cmd_bench_sim(args) -> int:
+    from .simfast import render_sim_bench, run_sim_bench
+    from .simfast.bench import SIM_BENCHMARKS
+    benchmarks = args.benchmarks or list(SIM_BENCHMARKS)
+    if _reject_unknown_benchmarks(benchmarks):
+        return 2
+    result = run_sim_bench(benchmarks, output=args.sim_output,
+                           quick=args.quick, verbose=True)
+    print(render_sim_bench(result))
+    return 0 if result["checksums_equal"] else 1
+
+
+def cmd_cache(args) -> int:
+    from .simfast import SimCache
+    cache = SimCache(args.cache_dir)
+    if args.action == "stats":
+        info = cache.stats()
+        print(f"{info['root']}: {info['entries']} entr"
+              f"{'y' if info['entries'] == 1 else 'ies'}, "
+              f"{info['bytes'] / 1e6:.1f} MB "
+              f"(cap {info['max_bytes'] / 1e6:.0f} MB)")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} file(s) from {cache.root}")
+        return 0
+    results = cache.verify(remove=args.remove)
+    bad = sorted(key for key, ok in results.items() if not ok)
+    for key in bad:
+        print(f"BAD {key}" + (" (removed)" if args.remove else ""))
+    print(f"{len(results) - len(bad)}/{len(results)} entries OK")
+    return 1 if bad and not args.remove else 0
 
 
 def _cmd_bench_hotpath(args) -> int:
@@ -346,6 +444,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="premap the whole data address space")
     _add_common(profile)
     _add_sanitize(profile)
+    _add_sim(profile)
+    _add_cache(profile)
     profile.set_defaults(func=cmd_profile)
 
     suite = sub.add_parser("suite", help="run the benchmark suite")
@@ -359,6 +459,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extra attempts for a failed worker")
     _add_common(suite)
     _add_sanitize(suite)
+    _add_sim(suite)
+    _add_cache(suite)
     suite.set_defaults(func=cmd_suite)
 
     stacks = sub.add_parser("stacks", help="print cycle stacks")
@@ -388,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--compress", action="store_true",
                         help="zlib-compress v2 chunk payloads")
     _add_sanitize(record)
+    _add_sim(record)
     record.set_defaults(func=cmd_record)
 
     replay = sub.add_parser("replay", help="re-profile a recorded trace")
@@ -442,8 +545,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sampling seed for --trace runs")
     bench.add_argument("--hotpath-output", default="BENCH_hotpath.json",
                        help="output file for --trace runs")
+    bench.add_argument("--sim", action="store_true",
+                       help="benchmark step vs fast-forward vs "
+                            "cache-hit simulation instead of the "
+                            "full pipeline")
+    bench.add_argument("--sim-output", default="BENCH_sim.json",
+                       help="output file for --sim runs")
     _add_common(bench)
     bench.set_defaults(func=cmd_bench)
+
+    cache = sub.add_parser(
+        "cache", help="manage the simulation result cache")
+    cache.add_argument("action", choices=["stats", "clear", "verify"])
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache root (default ~/.cache/repro or "
+                            "$REPRO_CACHE_DIR)")
+    cache.add_argument("--remove", action="store_true",
+                       help="evict entries that fail verification")
+    cache.set_defaults(func=cmd_cache)
 
     lint = sub.add_parser(
         "lint", help="statically lint programs",
@@ -463,6 +582,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except TraceInvariantError as exc:
         print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return 1
+    except MaxCyclesExceeded as exc:
+        print(f"simulation budget exhausted: {exc}", file=sys.stderr)
         return 1
 
 

@@ -240,6 +240,8 @@ class OracleProfiler(TraceObserver):
             self._fast = _FastAccumulator()
         # addr -> category code, memoizing stall_category lookups.
         self._stall_codes: Dict[int, int] = {}
+        # addr -> Category, the watch-mode twin of ``_stall_codes``.
+        self._stall_cats: Dict[int, Category] = {}
 
     # -- trace consumption ---------------------------------------------------------
 
@@ -298,12 +300,77 @@ class OracleProfiler(TraceObserver):
         else:
             self._pending_drain.append(cycle)
 
+    def on_stall_run(self, record: CycleRecord, count: int) -> None:
+        """Batched attribution of *count* identical stall cycles.
+
+        The classification of a stall record (constant head-of-ROB
+        stall, flush penalty, or front-end drain) cannot change within
+        the run -- the OIR mirror only moves on commits and exceptions,
+        which a stall record has none of -- so it is computed once.
+        Weights still accumulate cycle by cycle in run order, keeping
+        floating-point results bit-identical to single-stepping.
+        """
+        if record.committed or record.exception is not None \
+                or record.dispatched:
+            # Not a pure stall record; take the per-cycle default.
+            TraceObserver.on_stall_run(self, record, count)
+            return
+        cycle = record.cycle
+        fast = self._fast
+        if not record.rob_empty:
+            head = record.rob_head
+            if fast is not None:
+                code = self._stall_codes.get(head)
+                if code is None:
+                    code = _CAT_CODE[stall_category(self.program, head)]
+                    self._stall_codes[head] = code
+                add = fast.add
+                for _ in range(count):
+                    add(head, 1.0, code)
+                return
+            category = stall_category(self.program, head)
+            weights = [(head, 1.0)]
+            for offset in range(count):
+                c = cycle + offset
+                self._advance_watch(c)
+                self._emit(c, weights, category)
+            return
+
+        if self._oir_flag == _FLAG_MISPREDICT:
+            category = Category.MISPREDICT
+        elif self._oir_flag in (_FLAG_FLUSH, _FLAG_EXCEPTION):
+            category = Category.MISC_FLUSH
+        else:
+            # Front-end drain: park every cycle of the run until the
+            # next dispatch resolves it.
+            if fast is None:
+                for offset in range(count):
+                    self._advance_watch(cycle + offset)
+            self._pending_drain.extend(range(cycle, cycle + count))
+            return
+        addr = self._oir_addr
+        kind = self._oir_kind
+        if fast is not None:
+            code = _CAT_CODE[category]
+            flush_code = _FLUSH_CODE[kind]
+            add = fast.add
+            for _ in range(count):
+                add(addr, 1.0, code, flush_code)
+            return
+        weights = [(addr, 1.0)]
+        for offset in range(count):
+            c = cycle + offset
+            self._advance_watch(c)
+            self._emit(c, weights, category, kind)
+
+    def _advance_watch(self, cycle: int) -> None:
+        for marker in self._watch_markers:
+            if marker.is_sample(cycle):
+                self._watch.add(cycle)
+
     def on_block(self, block) -> None:
         if self._fast is None:
-            # Watches need per-cycle schedule advancement; take the
-            # materializing fallback.
-            for record in block.records():
-                self.on_cycle(record)
+            self._on_block_watch(block)
             return
         add = self._fast.add
         start = block.start_cycle
@@ -369,6 +436,77 @@ class OracleProfiler(TraceObserver):
                     flush_code[self._oir_kind])
             else:
                 self._pending_drain.append(start + i)
+
+    def _on_block_watch(self, block) -> None:
+        """Watch-mode columnar replay: per-cycle :meth:`on_cycle`
+        semantics (schedule advancement, interval accumulation, watched
+        attributions) straight off the block's columns, without
+        materializing ``CycleRecord`` objects."""
+        start = block.start_cycle
+        commit_base = block.commit_base
+        commit_addr = block.commit_addr
+        commit_meta = block.commit_meta
+        disp_base = block.disp_base
+        disp_addr = block.disp_addr
+        exceptions = block.exception
+        exc_ordering = block.exc_ordering
+        rob_empty = block.rob_empty
+        rob_head = block.rob_head
+        program = self.program
+        stall_cats = self._stall_cats
+        markers = self._watch_markers
+        watch = self._watch
+        emit = self._emit
+        for i in range(block.n):
+            cycle = start + i
+            for marker in markers:
+                if marker.is_sample(cycle):
+                    watch.add(cycle)
+            if self._pending_drain and disp_base[i + 1] > disp_base[i]:
+                self._resolve_drain(disp_addr[disp_base[i]])
+            exc = exceptions[i]
+            if exc is not None:
+                self._oir_addr = exc
+                self._oir_flag = _FLAG_EXCEPTION
+                self._oir_kind = (FlushKind.ORDERING if exc_ordering[i]
+                                  else FlushKind.EXCEPTION)
+                emit(cycle, [(exc, 1.0)], Category.MISC_FLUSH,
+                     self._oir_kind)
+                continue
+            lo, hi = commit_base[i], commit_base[i + 1]
+            if hi > lo:
+                share = 1.0 / (hi - lo)
+                emit(cycle, [(commit_addr[k], share)
+                             for k in range(lo, hi)],
+                     Category.EXECUTION)
+                self._oir_addr = commit_addr[hi - 1]
+                meta = commit_meta[hi - 1]
+                if meta & 0x40:
+                    self._oir_flag = _FLAG_MISPREDICT
+                    self._oir_kind = FlushKind.MISPREDICT
+                elif meta & 0x80:
+                    self._oir_flag = _FLAG_FLUSH
+                    self._oir_kind = FlushKind.CSR
+                else:
+                    self._oir_flag = _FLAG_NONE
+                    self._oir_kind = None
+                continue
+            if not rob_empty[i]:
+                head = rob_head[i]
+                category = stall_cats.get(head)
+                if category is None:
+                    category = stall_category(program, head)
+                    stall_cats[head] = category
+                emit(cycle, [(head, 1.0)], category)
+                continue
+            if self._oir_flag == _FLAG_MISPREDICT:
+                emit(cycle, [(self._oir_addr, 1.0)],
+                     Category.MISPREDICT, self._oir_kind)
+            elif self._oir_flag in (_FLAG_FLUSH, _FLAG_EXCEPTION):
+                emit(cycle, [(self._oir_addr, 1.0)],
+                     Category.MISC_FLUSH, self._oir_kind)
+            else:
+                self._pending_drain.append(cycle)
 
     def on_finish(self, final_cycle: int) -> None:
         # Any unresolved drain at the end of the run has no successor

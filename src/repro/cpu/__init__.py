@@ -3,22 +3,26 @@
 from .branch import BranchTargetBuffer, Prediction, ReturnAddressStack, \
     TagePredictor
 from .config import CoreConfig
-from .core import Core, CoreStats, SimulationError
+from .core import (FAST_SIM, SIM_MODES, STEP_SIM, Core, CoreStats,
+                   MaxCyclesExceeded, SimFastError, SimulationError)
 from .machine import Machine
 from .trace import (CommittedInst, CycleRecord, HeadEntry, TraceCollector,
-                    TraceObserver, replay)
+                    TraceObserver, replay, shifted_record)
 from .tracefile import (ChunkCarry, ChunkInfo, DEFAULT_CHUNK_CYCLES,
                         TraceIndex, TraceReaderV2, TraceWriter,
                         TraceWriterV2, convert_v1_to_v2, read_chunk,
                         read_index, read_trace, replay_trace)
-from .uop import MicroOp
+from .uop import MicroOp, MicroOpPool
 
 __all__ = [
     "BranchTargetBuffer", "Prediction", "ReturnAddressStack",
     "TagePredictor", "CoreConfig", "Core", "CoreStats", "SimulationError",
+    "MaxCyclesExceeded", "SimFastError", "STEP_SIM", "FAST_SIM",
+    "SIM_MODES",
     "Machine", "CommittedInst", "CycleRecord", "HeadEntry",
-    "TraceCollector", "TraceObserver", "replay", "MicroOp",
+    "TraceCollector", "TraceObserver", "replay", "MicroOp", "MicroOpPool",
     "ChunkCarry", "ChunkInfo", "DEFAULT_CHUNK_CYCLES", "TraceIndex",
     "TraceReaderV2", "TraceWriter", "TraceWriterV2", "convert_v1_to_v2",
     "read_chunk", "read_index", "read_trace", "replay_trace",
+    "shifted_record",
 ]

@@ -28,7 +28,7 @@ from ..mem.tlb import vpn_of
 from .branch import BranchTargetBuffer, ReturnAddressStack, TagePredictor
 from .config import CoreConfig
 from .trace import CommittedInst, CycleRecord, HeadEntry, TraceObserver
-from .uop import MicroOp
+from .uop import MicroOp, MicroOpPool
 
 _WORD_SHIFT = 3  # conflict detection at 8-byte granularity
 
@@ -37,13 +37,47 @@ class SimulationError(RuntimeError):
     """Raised when the simulated program does something unsupported."""
 
 
+class MaxCyclesExceeded(SimulationError):
+    """The program did not halt within the ``max_cycles`` budget.
+
+    A distinct outcome (not normal completion): callers surface it and
+    the simulation cache never stores such a truncated run.
+    """
+
+    def __init__(self, max_cycles: int):
+        super().__init__(
+            f"program did not halt within {max_cycles} cycles")
+        self.max_cycles = max_cycles
+
+
+class SimFastError(SimulationError):
+    """Paranoid fast-forward cross-check failed.
+
+    Raised when a region the quiescence detector claimed was a uniform
+    stall produced a different record under single-stepping -- i.e. a
+    bug in :meth:`Core._quiet_until`, never in the program.
+    """
+
+
+#: ``Core.run`` simulation modes.
+STEP_SIM = "step"
+FAST_SIM = "fast"
+SIM_MODES = (STEP_SIM, FAST_SIM)
+
+
 class CoreStats:
     """Aggregate statistics of one simulation run."""
 
     __slots__ = ("cycles", "committed", "fetched",
                  "branch_mispredicts", "csr_flushes", "exceptions",
                  "ordering_flushes", "commit_hist",
-                 "sampling_interrupts")
+                 "sampling_interrupts", "fast_forwarded")
+
+    #: Fields persisted by the simulation cache (everything needed to
+    #: reconstruct the stats of a cached run).
+    FIELDS = ("cycles", "committed", "fetched", "branch_mispredicts",
+              "csr_flushes", "exceptions", "ordering_flushes",
+              "commit_hist", "sampling_interrupts", "fast_forwarded")
 
     def __init__(self):
         self.cycles = 0
@@ -55,6 +89,20 @@ class CoreStats:
         self.ordering_flushes = 0
         self.commit_hist = [0] * 16
         self.sampling_interrupts = 0
+        #: Cycles emitted by the event-driven stall fast-forward (0 in
+        #: ``sim="step"`` runs; the trace is identical either way).
+        self.fast_forwarded = 0
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CoreStats":
+        stats = cls()
+        for name in cls.FIELDS:
+            if name in payload:
+                setattr(stats, name, payload[name])
+        return stats
 
     @property
     def ipc(self) -> float:
@@ -125,18 +173,64 @@ class Core:
         self._dispatched_now: List[int] = []
         self._exception_now: Optional[int] = None
         self._exception_ordering = False
+        #: The record emitted for the most recent cycle.
+        self._last_record: Optional[CycleRecord] = None
+
+        # Micro-op recycling: fetch stamps pre-decoded per-PC templates
+        # from a free list instead of constructing fresh MicroOps.
+        # Committed uops park in ``_retired`` until every older
+        # in-flight uop has left the ROB (nothing can then hold a
+        # ``src_uops`` reference to them); squashed uops recycle
+        # immediately (the squash severs all references).
+        self._uop_pool = MicroOpPool()
+        self._retired: Deque[Tuple[int, MicroOp]] = deque()
 
     # -- public API -------------------------------------------------------------
 
     def attach(self, observer: TraceObserver) -> None:
         self.observers.append(observer)
 
-    def run(self, max_cycles: int = 10_000_000) -> CoreStats:
-        """Run until the program halts (or *max_cycles* elapse)."""
+    def run(self, max_cycles: int = 10_000_000, sim: str = STEP_SIM,
+            paranoid: bool = False) -> CoreStats:
+        """Run until the program halts (or *max_cycles* elapse).
+
+        ``sim="fast"`` enables the event-driven stall fast-forward:
+        whenever :meth:`_quiet_until` proves that no pipeline stage can
+        make progress before a known future event, the intervening
+        identical stall records are emitted as one batch
+        (``on_stall_run``) instead of ticking cycle by cycle.  The
+        emitted trace and all observer results are bit-identical to
+        ``sim="step"``.  *paranoid* cross-checks every fast-forwarded
+        region against single-stepping (raising :class:`SimFastError`
+        on divergence) at single-step speed.
+
+        Raises :class:`MaxCyclesExceeded` (a distinct
+        :class:`SimulationError`) when the budget runs out.
+        """
+        if sim not in SIM_MODES:
+            raise ValueError(f"unknown sim mode {sim!r} "
+                             f"(expected one of {SIM_MODES})")
+        fast = sim == FAST_SIM
         while not self.halted:
             if self.cycle >= max_cycles:
-                raise SimulationError(
-                    f"program did not halt within {max_cycles} cycles")
+                raise MaxCyclesExceeded(max_cycles)
+            # Only pay for the quiescence scan once the pipeline shows
+            # signs of stalling (the previous cycle neither committed
+            # nor dispatched); at worst this single-steps the first
+            # cycle of a stall region before batching the rest.
+            last = self._last_record
+            if fast and (last is None
+                         or (not last.committed and not last.dispatched)):
+                target = self._quiet_until()
+                if target is not None:
+                    n = min(target, max_cycles) - self.cycle
+                    if n > 0:
+                        if paranoid:
+                            self._paranoid_forward(n)
+                        else:
+                            self._fast_forward(n)
+                        self.stats.fast_forwarded += n
+                        continue
             self.step()
         self.stats.cycles = self.cycle
         for observer in self.observers:
@@ -163,6 +257,175 @@ class Core:
         self._fetch_stage(cycle)
         self._emit_record(cycle)
         self.cycle = cycle + 1
+
+    # -- event-driven stall fast-forward (repro.simfast) -------------------------------
+
+    def _quiet_until(self) -> Optional[int]:
+        """Next-event cycle if the whole pipeline is provably stalled.
+
+        Returns the earliest future cycle at which any stage could make
+        progress, or ``None`` when some stage can act *this* cycle (or
+        no future event is known; the caller then single-steps).  Every
+        time-dependent blockage contributes an event (FU writebacks,
+        cache fills via ``done_cycle``/``fetch_ready_cycle``, store
+        drains, decode latency, the next sampling interrupt); purely
+        structural blockages (full queues, wrong-path fetch, serialize
+        barriers) are bounded transitively by the events of whatever
+        must drain them.  Between now and the returned cycle every
+        ``step()`` would be a no-op emitting the identical stall
+        record -- the invariant ``--paranoid`` re-checks by stepping.
+        """
+        cycle = self.cycle
+        if self._interrupt_pending:
+            return None
+        events: List[int] = []
+        schedule = self.sampling_schedule
+        if schedule is not None:
+            next_sample = schedule.next_sample
+            if next_sample <= cycle:
+                return None
+            events.append(next_sample)
+
+        # Branch resolution: any resolvable branch acts this cycle.
+        for uop in self._resolve_queue:
+            if uop.squashed:
+                continue
+            if uop.done_cycle <= cycle:
+                return None
+            events.append(uop.done_cycle)
+
+        # Commit: a done head commits/excepts/flushes, unless it is a
+        # store stalled on a full write buffer (bounded by the drains).
+        rob = self.rob
+        if rob:
+            head = rob[0]
+            if head.done_by(cycle):
+                if head.fault_vpn is not None or head.order_violation \
+                        or not head.inst.is_store or \
+                        len(self._store_drains) < \
+                        self.config.store_buffer_entries:
+                    return None
+            elif head.executed:
+                events.append(head.done_cycle)
+
+        # Store drains: completion frees the SQ entry.
+        for done, _uop in self._store_drains:
+            if done <= cycle:
+                return None
+            events.append(done)
+
+        # Issue: a uop whose producers have all broadcast issues this
+        # cycle -- except a load waiting on store-forward data.
+        for iq in (self.int_iq, self.mem_iq, self.fp_iq):
+            for uop in iq:
+                ready: Optional[int] = cycle
+                for producer in uop.src_uops:
+                    if producer is None:
+                        continue
+                    if not producer.executed or \
+                            producer.fault_vpn is not None:
+                        # Bounded transitively: the producer is itself
+                        # in an issue queue, or awaiting its exception.
+                        ready = None
+                        break
+                    if producer.done_cycle > ready:
+                        ready = producer.done_cycle
+                if ready is None:
+                    continue
+                if ready > cycle:
+                    events.append(ready)
+                    continue
+                inst = uop.inst
+                if inst.is_load and inst.kind is not Kind.ATOMIC:
+                    # Pure re-check of the forward-wait condition.
+                    result = evaluate(inst, self._operands(uop),
+                                      self.fflags)
+                    if self._try_forward(uop, result.eff_addr) \
+                            is _FORWARD_WAIT:
+                        continue  # behind a dataless older store
+                return None
+
+        # Dispatch: the fetch-buffer head enters the ROB unless gated.
+        cfg = self.config
+        if self.fetch_buffer and self.serialize_uop is None:
+            uop = self.fetch_buffer[0]
+            if uop.visible_cycle > cycle:
+                events.append(uop.visible_cycle)
+            else:
+                inst = uop.inst
+                iq, capacity = self._iq_for(inst)
+                blocked = (
+                    (inst.is_serializing
+                     and (rob or self.store_queue))
+                    or len(rob) >= cfg.rob_entries
+                    or len(iq) >= capacity
+                    or (inst.is_load and len(self.load_queue)
+                        >= cfg.load_queue_entries)
+                    or (inst.is_store and len(self.store_queue)
+                        >= cfg.store_queue_entries))
+                if not blocked:
+                    return None
+
+        # Fetch: the front-end advances (touching the I-cache) unless
+        # waiting on a fill, a full buffer, the in-flight branch cap,
+        # or a wrong-path PC outside the text segment.
+        if cycle < self.fetch_ready_cycle:
+            events.append(self.fetch_ready_cycle)
+        elif len(self.fetch_buffer) < cfg.fetch_buffer_entries and \
+                self.outstanding_branches < \
+                cfg.max_outstanding_branches and \
+                self.program.fetch(self.fetch_pc) is not None:
+            return None
+
+        if not events:
+            return None  # total deadlock; stepping will hit max_cycles
+        target = min(events)
+        return target if target > cycle else None
+
+    def _stall_record(self, cycle: int) -> CycleRecord:
+        """The record every cycle of a quiescent region emits."""
+        banks = self.config.rob_banks
+        head_banks: List[Optional[HeadEntry]] = [None] * banks
+        rob = self.rob
+        for i in range(min(banks, len(rob))):
+            uop = rob[i]
+            head_banks[uop.bank] = HeadEntry(uop.inst.addr, False)
+        return CycleRecord(
+            cycle=cycle,
+            committed=(),
+            rob_head=rob[0].inst.addr if rob else None,
+            rob_empty=not rob,
+            exception=None,
+            exception_is_ordering=False,
+            dispatched=(),
+            dispatch_pc=(self.fetch_buffer[0].inst.addr
+                         if self.fetch_buffer else None),
+            fetch_pc=self.fetch_pc,
+            head_banks=tuple(head_banks),
+            oldest_bank=rob[0].bank if rob else 0,
+        )
+
+    def _fast_forward(self, count: int) -> None:
+        """Emit *count* identical stall cycles in one batch."""
+        record = self._stall_record(self.cycle)
+        for observer in self.observers:
+            observer.on_stall_run(record, count)
+        self.cycle += count
+
+    def _paranoid_forward(self, count: int) -> None:
+        """Single-step a claimed stall region, checking every record."""
+        template = self._stall_record(self.cycle)
+        end = self.cycle + count
+        while self.cycle < end:
+            expected_cycle = self.cycle
+            self.step()
+            record = self._last_record
+            if record is None or \
+                    not _stall_equal(record, template, expected_cycle):
+                raise SimFastError(
+                    f"fast-forward divergence at cycle "
+                    f"{expected_cycle}: expected uniform stall "
+                    f"{template!r}, stepped to {record!r}")
 
     # -- branch resolution ---------------------------------------------------------
 
@@ -261,6 +524,13 @@ class Core:
         if self.serialize_uop is uop:
             self.serialize_uop = None
 
+        # Queue the uop for recycling.  It may still be referenced as a
+        # source by younger in-flight consumers (``src_uops``), so it is
+        # only released once every uop that could hold such a reference
+        # has itself left the ROB -- see :meth:`_harvest_retired`.
+        uop.draining = inst.is_store
+        self._retired.append((self._next_seq, uop))
+
         self._committed_now.append(
             CommittedInst(inst.addr, uop.bank, uop.mispredicted,
                           inst.flushes_on_commit))
@@ -323,11 +593,12 @@ class Core:
         def keep(items):
             return [u for u in items if u.seq < seq]
 
+        squashed: List[MicroOp] = []
         for uop in self.rob:
             if uop.seq >= seq:
                 uop.squashed = True
         while self.rob and self.rob[-1].seq >= seq:
-            self.rob.pop()
+            squashed.append(self.rob.pop())
         self.int_iq = keep(self.int_iq)
         self.mem_iq = keep(self.mem_iq)
         self.fp_iq = keep(self.fp_iq)
@@ -336,6 +607,7 @@ class Core:
                             if u.seq < seq or u.commit_cycle >= 0]
         for uop in self.fetch_buffer:
             uop.squashed = True
+            squashed.append(uop)
         self.fetch_buffer.clear()
         self._resolve_queue = keep(self._resolve_queue)
 
@@ -360,6 +632,37 @@ class Core:
         self.fetch_ready_cycle = cycle + 1
         self._last_fetch_block = None
 
+        # Squashing severed every reference to the discarded uops (any
+        # consumer holding them in ``src_uops`` is strictly younger and
+        # was discarded too), so they recycle immediately.
+        pool = self._uop_pool
+        for uop in squashed:
+            pool.release(uop)
+
+    def _harvest_retired(self) -> None:
+        """Recycle committed uops no in-flight consumer can reference.
+
+        A committed uop may still be read through ``src_uops`` by any
+        uop that was in flight when it committed (operand reads at
+        issue, the FSFLAGS operand read at commit).  Each retired entry
+        therefore carries a snapshot of ``_next_seq`` taken at commit;
+        once the ROB head's sequence number reaches that snapshot (or
+        the ROB empties), every possible consumer has itself committed
+        or been squashed.  Committed stores additionally wait for their
+        write-buffer drain (``draining``) because ``_store_drains`` and
+        the store queue still hold them.
+        """
+        retired = self._retired
+        rob = self.rob
+        min_seq = rob[0].seq if rob else self._next_seq
+        pool = self._uop_pool
+        while retired:
+            snapshot, uop = retired[0]
+            if snapshot > min_seq or uop.draining:
+                break
+            retired.popleft()
+            pool.release(uop)
+
     # -- stores draining to memory ---------------------------------------------------
 
     def _drain_stores(self, cycle: int) -> None:
@@ -370,6 +673,7 @@ class Core:
             if done <= cycle:
                 if uop in self.store_queue:
                     self.store_queue.remove(uop)
+                uop.draining = False
             else:
                 remaining.append((done, uop))
         self._store_drains = remaining
@@ -585,6 +889,8 @@ class Core:
     # -- fetch ------------------------------------------------------------------
 
     def _fetch_stage(self, cycle: int) -> None:
+        if self._retired:
+            self._harvest_retired()
         if self.halted or cycle < self.fetch_ready_cycle:
             return
         cfg = self.config
@@ -605,8 +911,8 @@ class Core:
                     self.fetch_ready_cycle = cycle + outcome.latency
                     break
 
-            uop = MicroOp(inst, self._next_seq, cycle,
-                          cycle + cfg.frontend_latency)
+            uop = self._uop_pool.acquire(inst, self._next_seq, cycle,
+                                         cycle + cfg.frontend_latency)
             self._next_seq += 1
             self.stats.fetched += 1
             redirected = self._predict(uop, cycle)
@@ -686,8 +992,39 @@ class Core:
             head_banks=tuple(head_banks),
             oldest_bank=rob[0].bank if rob else 0,
         )
+        self._last_record = record
         for observer in self.observers:
             observer.on_cycle(record)
+
+
+def _head_banks_equal(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if (x is None) != (y is None):
+            return False
+        if x is not None and (x.addr != y.addr
+                              or x.committing != y.committing):
+            return False
+    return True
+
+
+def _stall_equal(record: CycleRecord, template: CycleRecord,
+                 cycle: int) -> bool:
+    """Is *record* the stall *template* rematerialized at *cycle*?"""
+    return (record.cycle == cycle
+            and not record.committed
+            and not record.dispatched
+            and record.exception is None
+            and record.exception_is_ordering
+            == template.exception_is_ordering
+            and record.rob_head == template.rob_head
+            and record.rob_empty == template.rob_empty
+            and record.dispatch_pc == template.dispatch_pc
+            and record.fetch_pc == template.fetch_pc
+            and record.oldest_bank == template.oldest_bank
+            and _head_banks_equal(record.head_banks,
+                                  template.head_banks))
 
 
 class _ForwardSentinel:

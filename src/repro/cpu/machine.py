@@ -15,7 +15,7 @@ from ..isa.program import Program
 from ..kernel import Kernel
 from ..mem.hierarchy import MemoryHierarchy
 from .config import CoreConfig
-from .core import Core, CoreStats, SimulationError
+from .core import STEP_SIM, Core, CoreStats, SimulationError
 from .trace import TraceObserver
 
 
@@ -65,8 +65,9 @@ class Machine:
     def attach(self, observer: TraceObserver) -> None:
         self.core.attach(observer)
 
-    def run(self, max_cycles: int = 10_000_000) -> CoreStats:
-        return self.core.run(max_cycles)
+    def run(self, max_cycles: int = 10_000_000, sim: str = STEP_SIM,
+            paranoid: bool = False) -> CoreStats:
+        return self.core.run(max_cycles, sim=sim, paranoid=paranoid)
 
     @property
     def stats(self) -> CoreStats:

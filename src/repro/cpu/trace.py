@@ -92,11 +92,45 @@ class CycleRecord:
                 f"empty={self.rob_empty}>")
 
 
+def shifted_record(record: CycleRecord, offset: int) -> CycleRecord:
+    """A copy of *record* at ``record.cycle + offset``.
+
+    All content fields are shared -- stall records carry only immutable
+    tuples and ints -- so rematerializing a fast-forwarded run is one
+    object allocation per cycle.
+    """
+    return CycleRecord(
+        cycle=record.cycle + offset, committed=record.committed,
+        rob_head=record.rob_head, rob_empty=record.rob_empty,
+        exception=record.exception,
+        exception_is_ordering=record.exception_is_ordering,
+        dispatched=record.dispatched, dispatch_pc=record.dispatch_pc,
+        fetch_pc=record.fetch_pc, head_banks=record.head_banks,
+        oldest_bank=record.oldest_bank)
+
+
 class TraceObserver:
     """Interface for out-of-band trace consumers (profilers, collectors)."""
 
     def on_cycle(self, record: CycleRecord) -> None:
         raise NotImplementedError
+
+    def on_stall_run(self, record: CycleRecord, count: int) -> None:
+        """Consume *count* consecutive cycles identical to *record*.
+
+        The simulator's event-driven fast path (:mod:`repro.simfast`)
+        emits whole stall regions -- cycles during which no pipeline
+        stage makes progress -- as one call instead of *count*
+        ``on_cycle`` calls.  *record* is the first cycle of the run;
+        cycles ``record.cycle .. record.cycle + count - 1`` differ only
+        in their cycle number.  The default rematerializes each cycle
+        and falls back to :meth:`on_cycle`, so observers that never opt
+        in behave identically; observers with a batch fast path (trace
+        writers, the block assembler, the Oracle) override this.
+        """
+        self.on_cycle(record)
+        for offset in range(1, count):
+            self.on_cycle(shifted_record(record, offset))
 
     def on_block(self, block) -> None:
         """Consume a :class:`~repro.fastpath.CycleBlock` of records.

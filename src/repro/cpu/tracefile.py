@@ -50,6 +50,7 @@ the trace prefix, so it is computed once at record time.
 from __future__ import annotations
 
 import io
+import os
 import struct
 import zlib
 from dataclasses import dataclass
@@ -274,6 +275,12 @@ class TraceWriter(TraceObserver):
         self.stream.write(_encode_record(record))
         self.records_written += 1
 
+    def on_stall_run(self, record: CycleRecord, count: int) -> None:
+        # Encoded records carry no cycle number, so a stall run is
+        # *count* copies of the same bytes.
+        self.stream.write(_encode_record(record) * count)
+        self.records_written += count
+
     def on_finish(self, final_cycle: int) -> None:
         self.stream.flush()
 
@@ -325,13 +332,30 @@ class TraceWriterV2(TraceObserver):
     records; each chunk header stores the cycle range and the machine
     state carried into the chunk, so parallel workers can decode and
     replay any chunk range independently (:mod:`repro.parallel.shard`).
+
+    *stream* may be an open binary stream or a filesystem path.  In
+    path mode the writer is **atomic**: it writes to a unique ``*.tmp``
+    sibling and only fsyncs + renames it over the destination in
+    :meth:`on_finish`.  A killed ``repro record`` or cache fill
+    therefore never leaves a truncated trace at the destination path --
+    which readers would otherwise silently accept, because truncation
+    at a chunk boundary is indistinguishable from end-of-trace.  Call
+    :meth:`abort` to discard a partial path-mode write explicitly.
     """
 
-    def __init__(self, stream: BinaryIO, banks: int = 4,
+    def __init__(self, stream: Union[BinaryIO, str, "os.PathLike[str]"],
+                 banks: int = 4,
                  chunk_cycles: int = DEFAULT_CHUNK_CYCLES,
                  compress: bool = False):
         if chunk_cycles < 1:
             raise ValueError("chunk_cycles must be >= 1")
+        self._path: Optional[str] = None
+        self._tmp_path: Optional[str] = None
+        self._closed = False
+        if isinstance(stream, (str, os.PathLike)):
+            self._path = os.fspath(stream)
+            self._tmp_path = f"{self._path}.{os.getpid()}.tmp"
+            stream = open(self._tmp_path, "wb")
         self.stream = stream
         self.banks = banks
         self.chunk_cycles = chunk_cycles
@@ -355,10 +379,51 @@ class TraceWriterV2(TraceObserver):
         if len(self._buffer) >= self.chunk_cycles:
             self._flush_chunk()
 
+    def on_stall_run(self, record: CycleRecord, count: int) -> None:
+        # One encode for the whole run: records carry no cycle number,
+        # so every cycle of the run serializes to the same bytes, and
+        # the carry update is idempotent for stall records (no commits,
+        # no exception).
+        encoded = _encode_record(record)
+        self._carry.update(record)
+        self.records_written += count
+        buffer = self._buffer
+        while count:
+            space = self.chunk_cycles - len(buffer)
+            take = count if count < space else space
+            buffer.extend([encoded] * take)
+            count -= take
+            if len(buffer) >= self.chunk_cycles:
+                self._flush_chunk()
+                buffer = self._buffer
+
     def on_finish(self, final_cycle: int) -> None:
         if self._buffer:
             self._flush_chunk()
         self.stream.flush()
+        if self._path is not None and not self._closed:
+            self._closed = True
+            os.fsync(self.stream.fileno())
+            self.stream.close()
+            os.replace(self._tmp_path, self._path)
+            _fsync_dir(os.path.dirname(self._path))
+
+    def abort(self) -> None:
+        """Discard a partially-written path-mode trace.
+
+        Closes and unlinks the temporary file; the destination path is
+        never touched.  No-op in stream mode or after :meth:`on_finish`.
+        """
+        if self._path is None or self._closed:
+            return
+        self._closed = True
+        try:
+            self.stream.close()
+        finally:
+            try:
+                os.unlink(self._tmp_path)
+            except OSError:
+                pass
 
     def _flush_chunk(self) -> None:
         raw = b"".join(self._buffer)
@@ -380,6 +445,18 @@ class TraceWriterV2(TraceObserver):
         self._buffer = []
         self._chunk_carry = self._carry.copy()
         self.chunks_written += 1
+
+
+def _fsync_dir(dirname: str) -> None:
+    """Fsync a directory so a rename into it survives a crash."""
+    try:
+        fd = os.open(dirname or ".", os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms without directory fds
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _read_file_header(stream: BinaryIO):

@@ -24,12 +24,22 @@ class MicroOp:
         "executed", "issued", "result", "eff_addr", "store_value",
         "predicted_taken", "predicted_target", "actual_taken",
         "actual_target", "mispredicted", "fault_vpn", "order_violation",
-        "squashed", "src_uops", "prediction",
+        "squashed", "src_uops", "prediction", "draining",
     )
 
     def __init__(self, inst: Instruction, seq: int, fetch_cycle: int,
                  visible_cycle: int):
         self.inst = inst
+        self.stamp(seq, fetch_cycle, visible_cycle)
+
+    def stamp(self, seq: int, fetch_cycle: int,
+              visible_cycle: int) -> None:
+        """(Re-)initialize all dynamic state for a fresh fetch.
+
+        The static ``inst`` reference is kept, which is what lets the
+        core recycle retired uops from a per-PC free list
+        (:class:`MicroOpPool`) instead of re-constructing them.
+        """
         self.seq = seq
         self.fetch_cycle = fetch_cycle
         #: Cycle at which the decoded uop becomes visible to dispatch.
@@ -58,6 +68,9 @@ class MicroOp:
         self.src_uops: tuple = ()
         #: The TAGE prediction object (for training at commit).
         self.prediction = None
+        #: Committed store still draining through the write buffer; such
+        #: a uop may not be recycled until the drain completes.
+        self.draining = False
 
     @property
     def addr(self) -> int:
@@ -70,3 +83,32 @@ class MicroOp:
     def __repr__(self) -> str:
         return (f"<uop #{self.seq} {self.inst.op.value}@{self.inst.addr:#x} "
                 f"{'done' if self.executed else 'pending'}>")
+
+
+class MicroOpPool:
+    """Per-PC free lists of retired :class:`MicroOp` objects.
+
+    Constructing a uop pays an allocation plus ~20 attribute stores;
+    re-stamping a recycled one for the same PC keeps the static
+    ``inst`` reference and skips the allocation.  The core releases
+    uops once nothing can reference them any more (squashed uops
+    immediately, committed uops once every older in-flight consumer
+    has left the ROB) and acquires from the free list at fetch.
+    """
+
+    __slots__ = ("_free",)
+
+    def __init__(self):
+        self._free: dict = {}
+
+    def acquire(self, inst: Instruction, seq: int, fetch_cycle: int,
+                visible_cycle: int) -> MicroOp:
+        free = self._free.get(inst.addr)
+        if free:
+            uop = free.pop()
+            uop.stamp(seq, fetch_cycle, visible_cycle)
+            return uop
+        return MicroOp(inst, seq, fetch_cycle, visible_cycle)
+
+    def release(self, uop: MicroOp) -> None:
+        self._free.setdefault(uop.inst.addr, []).append(uop)

@@ -365,6 +365,80 @@ class CycleBlock:
                    opt_base, commit_base, commit_addr, commit_meta,
                    disp_base, disp_addr)
 
+    @classmethod
+    def from_runs(cls, runs: Sequence[Tuple[CycleRecord, int]],
+                  banks: int) -> "CycleBlock":
+        """Columnarize ``(record, count)`` runs of consecutive cycles.
+
+        A run stands for *count* cycles identical to its record except
+        for the cycle number -- the shape the simulator's stall
+        fast-forward emits (:meth:`~repro.cpu.trace.TraceObserver.
+        on_stall_run`).  Columns for repeated records expand through
+        C-speed sequence multiplication instead of per-cycle appends,
+        and the result is indistinguishable from
+        :meth:`from_records` over the materialized cycles.
+        """
+        flags = bytearray()
+        oldest = bytearray()
+        fetch_pc: List[int] = []
+        opt_vals: List[int] = []
+        opt_base = array("I", [0])
+        commit_base = array("I", [0])
+        commit_addr: List[int] = []
+        commit_meta = bytearray()
+        disp_base = array("I", [0])
+        disp_addr: List[int] = []
+        n = 0
+        for record, count in runs:
+            record_flags = 0
+            opts: List[int] = []
+            if record.rob_empty:
+                record_flags |= _F_EMPTY
+            if record.exception_is_ordering:
+                record_flags |= _F_ORD
+            if record.rob_head is not None:
+                record_flags |= _F_HEAD
+                opts.append(record.rob_head)
+            if record.exception is not None:
+                record_flags |= _F_EXC
+                opts.append(record.exception)
+            if record.dispatch_pc is not None:
+                record_flags |= _F_DISP_PC
+                opts.append(record.dispatch_pc)
+            flags.extend(bytes((record_flags,)) * count)
+            oldest.extend(bytes((record.oldest_bank,)) * count)
+            fetch_pc.extend([record.fetch_pc] * count)
+            if opts:
+                opt_vals.extend(opts * count)
+            _extend_prefix(opt_base, len(opts), count)
+            committed = record.committed
+            if committed:
+                commit_addr.extend(
+                    [c.addr for c in committed] * count)
+                commit_meta.extend(bytes(
+                    (c.bank & 0x3F)
+                    | (0x40 if c.mispredicted else 0)
+                    | (0x80 if c.flushes else 0)
+                    for c in committed) * count)
+            _extend_prefix(commit_base, len(committed), count)
+            if record.dispatched:
+                disp_addr.extend(list(record.dispatched) * count)
+            _extend_prefix(disp_base, len(record.dispatched), count)
+            n += count
+        start = runs[0][0].cycle if runs else 0
+        return cls(start, n, banks, flags, oldest, fetch_pc, opt_vals,
+                   opt_base, commit_base, commit_addr, commit_meta,
+                   disp_base, disp_addr)
+
+
+def _extend_prefix(base: "array", k: int, count: int) -> None:
+    """Append *count* prefix-sum entries, each advancing by *k*."""
+    last = base[-1]
+    if k:
+        base.extend(range(last + k, last + k * count + 1, k))
+    else:
+        base.extend([last] * count)
+
 
 def decode_block(raw: bytes, start_cycle: int, n_records: int,
                  banks: int) -> CycleBlock:

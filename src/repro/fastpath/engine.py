@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Tuple, Union
 
-from ..cpu.trace import CycleRecord, TraceObserver
+from ..cpu.trace import CycleRecord, TraceObserver, shifted_record
 from ..cpu.tracefile import TraceReaderV2, replay_trace
 from .block import CycleBlock, decode_block
 
@@ -116,12 +116,31 @@ class BlockAssembler(TraceObserver):
         self.banks = banks
         self.block_cycles = block_cycles
         self.blocks_dispatched = 0
-        self._buffer: List[CycleRecord] = []
+        #: Buffered ``(record, count)`` runs; ``count > 1`` entries come
+        #: from the simulator's stall fast-forward and columnarize at
+        #: C speed (:meth:`CycleBlock.from_runs`).
+        self._buffer: List[Tuple[CycleRecord, int]] = []
+        self._buffered = 0
 
     def on_cycle(self, record: CycleRecord) -> None:
-        self._buffer.append(record)
-        if len(self._buffer) >= self.block_cycles:
+        self._buffer.append((record, 1))
+        self._buffered += 1
+        if self._buffered >= self.block_cycles:
             self._flush()
+
+    def on_stall_run(self, record: CycleRecord, count: int) -> None:
+        # Split long runs at block boundaries so block sizes match what
+        # a single-stepped simulation would have produced.
+        while count:
+            space = self.block_cycles - self._buffered
+            take = count if count < space else space
+            self._buffer.append((record, take))
+            self._buffered += take
+            count -= take
+            if self._buffered >= self.block_cycles:
+                self._flush()
+            if count:
+                record = shifted_record(record, take)
 
     def on_finish(self, final_cycle: int) -> None:
         if self._buffer:
@@ -130,8 +149,9 @@ class BlockAssembler(TraceObserver):
             observer.on_finish(final_cycle)
 
     def _flush(self) -> None:
-        block = CycleBlock.from_records(self._buffer, self.banks)
+        block = CycleBlock.from_runs(self._buffer, self.banks)
         self._buffer = []
+        self._buffered = 0
         for observer in self.observers:
             observer.on_block(block)
         self.blocks_dispatched += 1

@@ -81,6 +81,10 @@ class ExperimentResult:
         self.stats = stats
         #: The trace sanitizer attached to the run (``sanitize=True``).
         self.sanitizer = sanitizer
+        #: True when the profilers were fed from a simulation-cache hit
+        #: (block-engine replay of the cached trace) instead of a live
+        #: simulation.  Results are bit-identical either way.
+        self.cached = False
         self.symbolizer = Symbolizer(program)
 
     # -- errors -------------------------------------------------------------------
@@ -128,7 +132,10 @@ def run_experiment(program: Program,
                    premapped_data: Optional[List[Tuple[int, int]]] = None,
                    max_cycles: int = 10_000_000,
                    sanitize: bool = False,
-                   engine: str = "cycle") -> ExperimentResult:
+                   engine: str = "cycle",
+                   sim: str = "step",
+                   paranoid: bool = False,
+                   cache=None) -> ExperimentResult:
     """Simulate *program* once with all *profilers* attached out-of-band.
 
     With *sanitize* a :class:`~repro.lint.TraceSanitizer` validates the
@@ -144,9 +151,22 @@ def run_experiment(program: Program,
     bookkeeping and the sanitizer's fail-fast diagnostics should point
     at the violating cycle, not a block boundary.  Profiles are
     bit-identical either way.
+
+    ``sim="fast"`` turns on the event-driven stall fast-forward inside
+    the core (*paranoid* cross-checks every fast-forwarded region
+    against single-stepping); *cache* enables the content-addressed
+    simulation cache (``True`` for the default root, a path, or a
+    :class:`~repro.simfast.SimCache`).  On a hit the profilers replay
+    the cached v2 trace through the columnar block engine and
+    ``result.cached`` is set; on a miss the run records into the cache.
+    Traces, reports and stats are bit-identical across all paths.
+
+    Raises :class:`~repro.cpu.core.MaxCyclesExceeded` when the budget
+    runs out; such runs are never cached.
     """
     from ..fastpath.engine import (BLOCK_ENGINE, BlockAssembler,
-                                   validate_engine)
+                                   replay_with_engine, validate_engine)
+    from ..simfast.cache import resolve_cache
     validate_engine(engine)
     machine = Machine(program, config, premapped_data)
     image = machine.image
@@ -162,7 +182,6 @@ def run_experiment(program: Program,
     oracle = OracleProfiler(
         image, watch_schedules=[p.schedule_clone()
                                 for p in distinct.values()])
-    machine.attach(oracle)
 
     built: Dict[str, SamplingProfiler] = {}
     for profiler_config in profilers:
@@ -171,6 +190,26 @@ def run_experiment(program: Program,
                 f"duplicate profiler label {profiler_config.name!r}")
         built[profiler_config.name] = profiler_config.build(image)
 
+    sim_cache = resolve_cache(cache)
+    key = None
+    if sim_cache is not None:
+        key = sim_cache.key_for(image, machine.config,
+                                premapped=premapped_data)
+        hit = sim_cache.lookup(key, max_cycles)
+        if hit is not None:
+            observers = ([sanitizer] if sanitizer is not None else []) \
+                + [oracle] + list(built.values())
+            replay_with_engine(hit.trace_path, observers,
+                               engine=BLOCK_ENGINE)
+            # Replay reports the last record's cycle; the simulator
+            # reports the cycle after it (same fixup as replay_serial).
+            oracle.report.total_cycles = hit.stats.cycles
+            result = ExperimentResult(image, oracle.report, built,
+                                      hit.stats, sanitizer=sanitizer)
+            result.cached = True
+            return result
+
+    machine.attach(oracle)
     if engine == BLOCK_ENGINE and built:
         machine.attach(BlockAssembler(built.values(),
                                       machine.config.rob_banks))
@@ -178,7 +217,18 @@ def run_experiment(program: Program,
         for profiler in built.values():
             machine.attach(profiler)
 
-    stats = machine.run(max_cycles)
+    writer = None
+    if sim_cache is not None:
+        writer = sim_cache.open_writer(key, machine.config.rob_banks)
+        machine.attach(writer)
+    try:
+        stats = machine.run(max_cycles, sim=sim, paranoid=paranoid)
+    except BaseException:
+        if writer is not None:
+            writer.abort()  # incomplete runs are never cached
+        raise
+    if writer is not None:
+        sim_cache.commit(key, stats, program_name=image.name or "")
     return ExperimentResult(image, oracle.report, built, stats,
                             sanitizer=sanitizer)
 

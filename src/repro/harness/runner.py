@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.cyclestacks import CycleStack
 from ..analysis.symbols import Granularity
+from ..cpu.core import MaxCyclesExceeded
 from ..parallel.pool import JobFailure
 from ..workloads.generator import Workload
 from ..workloads.suite import build_suite
@@ -80,12 +81,21 @@ def run_workload(workload: Workload,
                  profilers: Sequence[ProfilerConfig],
                  max_cycles: int = 10_000_000,
                  sanitize: bool = False,
-                 engine: str = "cycle") -> ExperimentResult:
-    """Run one workload with the given profiler configurations."""
+                 engine: str = "cycle",
+                 sim: str = "step",
+                 paranoid: bool = False,
+                 cache=None) -> ExperimentResult:
+    """Run one workload with the given profiler configurations.
+
+    *sim*, *paranoid* and *cache* select the simulation fast path and
+    the content-addressed result cache (see
+    :func:`~repro.harness.experiment.run_experiment`).
+    """
     return run_experiment(workload.program, profilers,
                           premapped_data=workload.premapped,
                           max_cycles=max_cycles, sanitize=sanitize,
-                          engine=engine)
+                          engine=engine, sim=sim, paranoid=paranoid,
+                          cache=cache)
 
 
 def run_suite(workloads: Optional[Sequence[Workload]] = None,
@@ -99,7 +109,10 @@ def run_suite(workloads: Optional[Sequence[Workload]] = None,
               jobs: int = 1,
               timeout: Optional[float] = None,
               retries: int = 1,
-              engine: str = "cycle") -> SuiteResult:
+              engine: str = "cycle",
+              sim: str = "step",
+              paranoid: bool = False,
+              cache=None) -> SuiteResult:
     """Run the whole suite (or the given workloads).
 
     *engine* selects how serially-run profilers consume the live trace
@@ -116,6 +129,12 @@ def run_suite(workloads: Optional[Sequence[Workload]] = None,
     name.  *timeout* bounds each benchmark's wall clock and *retries*
     caps re-runs of a failed worker; exhausted benchmarks land in
     ``SuiteResult.failures``.
+
+    *sim*, *paranoid* and *cache* select the simulation fast path and
+    the content-addressed result cache.  A workload that exhausts
+    *max_cycles* is recorded as a ``"max-cycles"``
+    :class:`~repro.parallel.pool.JobFailure` instead of aborting the
+    whole suite (and is never cached).
     """
     if workloads is None:
         workloads = build_suite(scale=scale)
@@ -124,17 +143,26 @@ def run_suite(workloads: Optional[Sequence[Workload]] = None,
     if jobs > 1:
         from ..parallel.suite import (DEFAULT_JOB_TIMEOUT,
                                       run_suite_parallel)
+        from ..simfast.cache import resolve_cache
+        sim_cache = resolve_cache(cache)
         return run_suite_parallel(
             workloads, profilers, jobs, scale=scale,
             max_cycles=max_cycles, sanitize=sanitize,
             timeout=DEFAULT_JOB_TIMEOUT if timeout is None else timeout,
-            retries=retries, verbose=verbose)
+            retries=retries, verbose=verbose, sim=sim,
+            cache_dir=None if sim_cache is None else sim_cache.root)
     results: Dict[str, ExperimentResult] = {}
+    failures: Dict[str, JobFailure] = {}
     for workload in workloads:
         if verbose:
             print(f"[suite] running {workload.name} ...", flush=True)
-        results[workload.name] = run_workload(workload, profilers,
-                                              max_cycles,
-                                              sanitize=sanitize,
-                                              engine=engine)
-    return SuiteResult(results)
+        try:
+            results[workload.name] = run_workload(
+                workload, profilers, max_cycles, sanitize=sanitize,
+                engine=engine, sim=sim, paranoid=paranoid, cache=cache)
+        except MaxCyclesExceeded as exc:
+            failures[workload.name] = JobFailure(
+                workload.name, "max-cycles", 1, str(exc))
+            if verbose:
+                print(f"[suite] {workload.name}: {exc}", flush=True)
+    return SuiteResult(results, failures)

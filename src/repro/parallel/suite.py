@@ -32,23 +32,32 @@ DEFAULT_JOB_TIMEOUT = 600.0
 def simulate_benchmark(name: str, scale: float,
                        configs: Tuple[ProfilerConfig, ...],
                        max_cycles: int,
-                       sanitize: bool) -> dict:
+                       sanitize: bool,
+                       sim: str = "step",
+                       cache_dir: Optional[str] = None) -> dict:
     """Worker entry: simulate one named suite benchmark.
 
     Rebuilds the workload from its name (Workload objects carry
     non-picklable semantic callables) and returns a picklable payload.
+    *sim* selects the simulation fast path and *cache_dir* (a plain
+    path, picklable) the content-addressed simulation cache.
     """
+    from ..cpu.core import MaxCyclesExceeded
     from ..harness.runner import run_workload
     from ..workloads.suite import build
     workload = build(name, scale)
     try:
         result = run_workload(workload, configs, max_cycles,
-                              sanitize=sanitize)
+                              sanitize=sanitize, sim=sim,
+                              cache=cache_dir)
     except TraceInvariantError as exc:
         return {"invariant_violation": exc.diagnostic}
+    except MaxCyclesExceeded as exc:
+        return {"max_cycles_exceeded": str(exc)}
     return {
         "oracle": result.oracle,
         "stats": result.stats,
+        "cached": result.cached,
         "profilers": {label: profiler.snapshot()
                       for label, profiler in result.profilers.items()},
         "sanitizer": (result.sanitizer.snapshot()
@@ -73,8 +82,10 @@ def _rebuild_result(workload: Workload,
     if payload["sanitizer"] is not None:
         sanitizer = TraceSanitizer(program=image)
         sanitizer.absorb([payload["sanitizer"]])
-    return ExperimentResult(image, payload["oracle"], profilers,
-                            payload["stats"], sanitizer=sanitizer)
+    result = ExperimentResult(image, payload["oracle"], profilers,
+                              payload["stats"], sanitizer=sanitizer)
+    result.cached = payload.get("cached", False)
+    return result
 
 
 def run_suite_parallel(workloads: Sequence[Workload],
@@ -85,14 +96,20 @@ def run_suite_parallel(workloads: Sequence[Workload],
                        sanitize: bool = False,
                        timeout: Optional[float] = DEFAULT_JOB_TIMEOUT,
                        retries: int = 1,
-                       verbose: bool = False):
+                       verbose: bool = False,
+                       sim: str = "step",
+                       cache_dir: Optional[str] = None):
     """Simulate *workloads* on up to *jobs* worker processes.
 
     Returns a :class:`~repro.harness.runner.SuiteResult`; benchmarks
     whose worker failed (after retries) appear in ``failures`` instead
     of ``results``.  *scale* must match the scale the workloads were
-    built with -- workers rebuild them by name.
+    built with -- workers rebuild them by name.  *sim* and *cache_dir*
+    forward the simulation fast path and cache root to every worker;
+    a benchmark that exhausts *max_cycles* lands in ``failures`` with
+    kind ``"max-cycles"``.
     """
+    from ..cpu.core import MaxCyclesExceeded
     from ..harness.runner import SuiteResult, run_workload
 
     configs = tuple(profilers)
@@ -103,7 +120,7 @@ def run_suite_parallel(workloads: Sequence[Workload],
             pool_jobs.append(PoolJob(
                 name=workload.name, func=simulate_benchmark,
                 args=(workload.name, scale, configs, max_cycles,
-                      sanitize),
+                      sanitize, sim, cache_dir),
                 timeout=timeout))
         else:
             serial.append(workload)
@@ -120,15 +137,25 @@ def run_suite_parallel(workloads: Sequence[Workload],
     for job in pool_jobs:
         if job.name not in report.results:
             continue
+        payload = report.results[job.name]
+        if "max_cycles_exceeded" in payload:
+            failures[job.name] = JobFailure(
+                job.name, "max-cycles", 1,
+                payload["max_cycles_exceeded"])
+            continue
         results[job.name] = _rebuild_result(
-            by_name[job.name], configs, report.results[job.name])
+            by_name[job.name], configs, payload)
     for workload in serial:
         if verbose:
             print(f"[suite] running {workload.name} serially ...",
                   flush=True)
-        results[workload.name] = run_workload(workload, configs,
-                                              max_cycles,
-                                              sanitize=sanitize)
+        try:
+            results[workload.name] = run_workload(
+                workload, configs, max_cycles, sanitize=sanitize,
+                sim=sim, cache=cache_dir)
+        except MaxCyclesExceeded as exc:
+            failures[workload.name] = JobFailure(
+                workload.name, "max-cycles", 1, str(exc))
     # Preserve the input ordering for stable tables.
     ordered = {workload.name: results[workload.name]
                for workload in workloads if workload.name in results}

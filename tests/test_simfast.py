@@ -1,0 +1,290 @@
+"""Simulation fast path + content-addressed cache tests.
+
+The contract under test: ``sim="fast"``, paranoid mode and a
+simulation-cache hit all produce results bit-identical to plain
+single-stepping -- the same v2 trace bytes and the same profiler
+reports, floating point included.
+"""
+
+import io
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import (Machine, MaxCyclesExceeded, TraceWriter,
+                       TraceWriterV2, shifted_record)
+from repro.cpu.tracefile import replay_trace
+from repro.cpu.trace import TraceCollector
+from repro.harness.experiment import default_profilers
+from repro.harness.runner import run_suite, run_workload
+from repro.simfast import SimCache, resolve_cache
+from repro.simfast.bench import _result_checksum
+from repro.workloads.suite import build_suite
+
+from conftest import make_record
+from test_differential import DATA_BASE, DATA_WORDS, _generate_program
+
+#: Strided loads thrash the data cache, so most cycles are memory
+#: stalls -- the fast path's best case.
+STALL_HEAVY = """
+.func main
+    addi x1, x0, 0
+    addi x2, x0, 120
+loop:
+    lw   x3, 0x2000(x1)
+    add  x4, x4, x3
+    addi x1, x1, 512
+    andi x1, x1, 65535
+    addi x2, x2, -1
+    bne  x2, x0, loop
+    halt
+"""
+STALL_HEAVY_MAP = [(0x2000, 0x2000 + 65536 + 8)]
+
+
+def _random_program(seed: int):
+    from repro.isa.assembler import assemble
+    rng = random.Random(seed)
+    program = assemble(_generate_program(rng), name=f"fuzz-{seed}")
+    for i in range(DATA_WORDS):
+        program.data[DATA_BASE + 8 * i] = rng.randint(-100, 100)
+    return program
+
+
+def _trace_of(program, sim, paranoid=False, premapped=None,
+              writer_cls=TraceWriterV2):
+    machine = Machine(program, premapped_data=premapped or
+                      [(DATA_BASE, DATA_BASE + 8 * DATA_WORDS)])
+    buffer = io.BytesIO()
+    machine.attach(writer_cls(buffer, machine.config.rob_banks))
+    stats = machine.run(2_000_000, sim=sim, paranoid=paranoid)
+    return buffer.getvalue(), stats
+
+
+# -- fast-forward vs single-stepping ----------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fast_step_traces_byte_identical(seed):
+    program = _random_program(seed)
+    step_trace, step_stats = _trace_of(program, "step")
+    fast_trace, fast_stats = _trace_of(program, "fast")
+    assert step_trace == fast_trace
+    assert step_stats.cycles == fast_stats.cycles
+    assert step_stats.committed == fast_stats.committed
+    assert step_stats.commit_hist == fast_stats.commit_hist
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_paranoid_mode_passes(seed):
+    """Cross-checked fast-forwarding agrees with stepping everywhere."""
+    program = _random_program(seed)
+    step_trace, _ = _trace_of(program, "step")
+    paranoid_trace, _ = _trace_of(program, "fast", paranoid=True)
+    assert step_trace == paranoid_trace
+
+
+def test_fast_forward_fires_on_stall_heavy_program():
+    from repro.isa.assembler import assemble
+    program = assemble(STALL_HEAVY, name="stall-heavy")
+    step_trace, step_stats = _trace_of(program, "step",
+                                       premapped=STALL_HEAVY_MAP)
+    fast_trace, fast_stats = _trace_of(program, "fast",
+                                       premapped=STALL_HEAVY_MAP)
+    assert fast_trace == step_trace
+    assert fast_stats.fast_forwarded > 0
+    # The v1 (flat) writer batches stall runs too.
+    v1_step, _ = _trace_of(program, "step", premapped=STALL_HEAVY_MAP,
+                           writer_cls=TraceWriter)
+    v1_fast, _ = _trace_of(program, "fast", premapped=STALL_HEAVY_MAP,
+                           writer_cls=TraceWriter)
+    assert v1_fast == v1_step
+
+
+def test_fast_experiment_results_identical():
+    workload, = build_suite(["mcf"], scale=0.05)
+    profilers = default_profilers(53)
+    r_step = run_workload(workload, profilers, engine="block")
+    r_fast = run_workload(workload, profilers, engine="block",
+                          sim="fast")
+    assert _result_checksum(r_step) == _result_checksum(r_fast)
+    assert r_fast.stats.fast_forwarded > 0
+
+
+def test_unknown_sim_mode_rejected():
+    program = _random_program(0)
+    machine = Machine(program)
+    with pytest.raises(ValueError):
+        machine.run(100, sim="warp")
+
+
+# -- on_stall_run batching ---------------------------------------------------------
+
+
+def test_on_stall_run_matches_repeated_on_cycle():
+    """One batched call == N single-cycle calls, for both writers."""
+    stall = make_record(3, rob_head=0x40, fetch_pc=0x80)
+    for writer_cls, kwargs in ((TraceWriter, {}),
+                               (TraceWriterV2, {"chunk_cycles": 4})):
+        stepped = io.BytesIO()
+        writer = writer_cls(stepped, 2, **kwargs)
+        writer.on_cycle(make_record(0, committed=[(0x40, False, False)]))
+        writer.on_cycle(make_record(1, dispatched=[0x44]))
+        writer.on_cycle(make_record(2))
+        for offset in range(10):
+            writer.on_cycle(shifted_record(stall, offset))
+        writer.on_finish(12)
+
+        batched = io.BytesIO()
+        writer = writer_cls(batched, 2, **kwargs)
+        writer.on_cycle(make_record(0, committed=[(0x40, False, False)]))
+        writer.on_cycle(make_record(1, dispatched=[0x44]))
+        writer.on_cycle(make_record(2))
+        writer.on_stall_run(stall, 10)
+        writer.on_finish(12)
+        assert stepped.getvalue() == batched.getvalue(), writer_cls
+
+
+# -- the content-addressed cache ---------------------------------------------------
+
+
+def test_cache_round_trip_bit_identical(tmp_path):
+    workload, = build_suite(["mcf"], scale=0.05)
+    profilers = default_profilers(53)
+    cache = SimCache(str(tmp_path))
+    r_miss = run_workload(workload, profilers, engine="block",
+                          sim="fast", cache=cache)
+    assert not r_miss.cached
+    assert len(cache.keys()) == 1
+    r_hit = run_workload(workload, profilers, engine="block",
+                         sim="fast", cache=cache)
+    assert r_hit.cached
+    assert _result_checksum(r_miss) == _result_checksum(r_hit)
+    assert r_hit.stats.cycles == r_miss.stats.cycles
+    assert r_hit.oracle.total_cycles == r_miss.oracle.total_cycles
+
+
+def test_cache_verify_and_stats(tmp_path):
+    workload, = build_suite(["mcf"], scale=0.05)
+    cache = SimCache(str(tmp_path))
+    run_workload(workload, default_profilers(53), sim="fast",
+                 cache=cache)
+    assert all(cache.verify().values())
+    info = cache.stats()
+    assert info["entries"] == 1 and info["bytes"] > 0
+    assert cache.clear() >= 2  # trace + sidecar
+    assert cache.keys() == []
+
+
+def test_cache_corrupt_entry_is_evicted_miss(tmp_path):
+    workload, = build_suite(["mcf"], scale=0.05)
+    cache = SimCache(str(tmp_path))
+    run_workload(workload, default_profilers(53), sim="fast",
+                 cache=cache)
+    key, = cache.keys()
+    trace_path = cache._trace_path(key)
+    blob = bytearray(open(trace_path, "rb").read())
+    blob[len(blob) // 2] ^= 0xFF
+    with open(trace_path, "wb") as fh:
+        fh.write(blob)
+    assert cache.lookup(key) is None
+    assert cache.keys() == []  # evicted on the spot
+
+
+def test_cache_budget_gate(tmp_path):
+    """An entry recorded past the caller's budget cannot hit."""
+    workload, = build_suite(["mcf"], scale=0.05)
+    cache = SimCache(str(tmp_path))
+    result = run_workload(workload, default_profilers(53), sim="fast",
+                          cache=cache)
+    key, = cache.keys()
+    assert cache.lookup(key, max_cycles=result.stats.cycles - 1) is None
+    assert cache.lookup(key, max_cycles=result.stats.cycles) is not None
+
+
+def test_cache_lru_evicts_oldest_first(tmp_path):
+    cache = SimCache(str(tmp_path))
+    old, new = build_suite(["mcf", "canneal"], scale=0.05)
+    profilers = default_profilers(53)
+    run_workload(old, profilers, sim="fast", cache=cache)
+    run_workload(new, profilers, sim="fast", cache=cache)
+    keys = sorted(cache.keys(),
+                  key=lambda k: os.path.getmtime(cache._trace_path(k)))
+    assert len(keys) == 2
+    total = cache.stats()["bytes"]
+    small = SimCache(str(tmp_path), max_bytes=total - 1)
+    small._evict_lru()
+    assert small.keys() == [keys[1]]  # the older entry went first
+
+
+def test_resolve_cache_forms(tmp_path):
+    assert resolve_cache(None) is None
+    assert resolve_cache(False) is None
+    cache = SimCache(str(tmp_path))
+    assert resolve_cache(cache) is cache
+    assert resolve_cache(str(tmp_path)).root == cache.root
+
+
+# -- max-cycles budget -------------------------------------------------------------
+
+
+def test_max_cycles_raises_and_never_caches(tmp_path):
+    workload, = build_suite(["mcf"], scale=0.05)
+    cache = SimCache(str(tmp_path))
+    with pytest.raises(MaxCyclesExceeded):
+        run_workload(workload, default_profilers(53), max_cycles=100,
+                     sim="fast", cache=cache)
+    assert cache.keys() == []
+    assert os.listdir(tmp_path) == []  # no stray temp files either
+
+
+def test_suite_surfaces_max_cycles_failure():
+    suite = run_suite(build_suite(["mcf"], scale=0.05),
+                      default_profilers(53), max_cycles=100)
+    assert not suite.ok
+    assert suite.failures["mcf"].kind == "max-cycles"
+    assert "mcf" not in suite.results
+
+
+# -- atomic path-mode trace writer -------------------------------------------------
+
+
+def test_writer_v2_path_mode_is_atomic(tmp_path):
+    destination = tmp_path / "run.tiptrace"
+    program = _random_program(1)
+    machine = Machine(program, premapped_data=[
+        (DATA_BASE, DATA_BASE + 8 * DATA_WORDS)])
+    writer = TraceWriterV2(str(destination), machine.config.rob_banks)
+    machine.attach(writer)
+    assert not destination.exists()  # only the .tmp sibling exists
+    machine.run(2_000_000, sim="fast")
+    assert destination.exists()
+    assert [p for p in tmp_path.iterdir()] == [destination]
+    collector = TraceCollector()
+    replay_trace(str(destination), collector)
+    assert len(collector) == machine.stats.cycles
+
+
+def test_writer_v2_abort_leaves_nothing(tmp_path):
+    destination = tmp_path / "run.tiptrace"
+    writer = TraceWriterV2(str(destination), 2)
+    writer.on_cycle(make_record(0))
+    writer.abort()
+    assert list(tmp_path.iterdir()) == []
+    writer.abort()  # idempotent
+
+
+# -- CLI surface -------------------------------------------------------------------
+
+
+def test_cli_cache_subcommand(tmp_path, capsys):
+    from repro.cli import main
+    root = str(tmp_path / "cache")
+    assert main(["cache", "stats", "--cache-dir", root]) == 0
+    assert main(["cache", "verify", "--cache-dir", root]) == 0
+    assert main(["cache", "clear", "--cache-dir", root]) == 0
+    out = capsys.readouterr().out
+    assert "0 entries" in out
