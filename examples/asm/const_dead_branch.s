@@ -1,0 +1,20 @@
+# A branch whose outcome constant propagation decides at lint time:
+# x1 is provably zero, so `beq x1, x0` is always taken and the
+# fall-through arm can never execute.  The block is structurally
+# reachable (L003 stays quiet) -- only the conditional-constant
+# analysis can prove it dead.
+#
+#   $ python -m repro lint examples/asm/const_dead_branch.s
+#
+# reports warning[L011] at the fall-through block.
+
+.entry main
+.func main
+main:
+    addi x1, x0, 0
+    addi x9, x0, 0x400
+    beq  x1, x0, fast       # always taken: x1 == 0 on every path
+    addi x2, x0, 1          # L011: const-proven unreachable
+    sw   x2, 0(x9)
+fast:
+    halt

@@ -1,0 +1,17 @@
+# A computation whose result no path ever reads.  Liveness analysis
+# (may-backward, call-conservative) proves x2 dead immediately after
+# the write, so the instruction only costs issue bandwidth.
+#
+#   $ python -m repro lint examples/asm/dead_store.s
+#
+# reports warning[L010] at the first `addi`.
+
+.entry main
+.func main
+main:
+    addi x2, x0, 7          # L010: x2 is never read afterwards
+    addi x1, x0, 3
+count:
+    addi x1, x1, -1
+    bne  x1, x0, count
+    halt

@@ -1,0 +1,25 @@
+# The Section 6 anti-pattern in its direct, multi-block form: an FP
+# status read inside a loop whose operands never change across
+# iterations.  The syntactic rule (L001) flags the CSR access because
+# it sits in a loop; the dataflow rule (L012) additionally proves it
+# loop-invariant -- reaching definitions show every operand is
+# supplied from outside the loop body -- so hoisting is safe.
+#
+#   $ python -m repro lint examples/asm/loop_invariant_csr.s
+#
+# reports warning[L001] and warning[L012] at the `frflags`.
+
+.entry main
+.func main
+main:
+    addi x1, x0, 8
+    addi x2, x0, 0
+    addi x5, x0, 3
+scan:
+    frflags x7              # L001 + L012: loop-invariant CSR access
+    beq  x1, x5, skip
+    addi x2, x2, 1
+skip:
+    addi x1, x1, -1
+    bne  x1, x0, scan
+    halt

@@ -1,0 +1,22 @@
+# A spin-wait loop polling a value loaded once, outside the loop.
+# Nothing in the loop body redefines the exit condition, so under the
+# functional model (`--sim fast`, no asynchronous events) the loop can
+# never quiesce: reaching definitions show the branch operand's only
+# definition site lies outside the loop.
+#
+#   $ python -m repro lint examples/asm/spin_wait.s
+#
+# reports warning[L013] at the loop header.
+
+.entry main
+.func main
+main:
+    addi x9, x0, 0x400
+    addi x6, x0, 0
+    lw   x5, 0(x9)          # the flag is only ever read here
+wait:
+    addi x6, x6, 1
+    bne  x5, x0, wait       # L013: x5 is never redefined in the body
+    halt
+
+.data 0x400 1

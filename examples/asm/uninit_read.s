@@ -1,0 +1,17 @@
+# Reading a register the entry function never wrote.  The simulator
+# happily returns the reset value (zero), which is exactly why such
+# bugs survive testing -- the linter's definite-assignment analysis
+# proves no path from the entry point initialises x5 before the read.
+#
+#   $ python -m repro lint examples/asm/uninit_read.s
+#
+# reports warning[L009] at the `add`.
+
+.entry main
+.func main
+main:
+    add  x3, x5, x5         # L009: x5 is read before any write
+    beq  x3, x0, done
+    nop
+done:
+    halt

@@ -18,20 +18,31 @@ def format_diag(severity: str, rule: str, message: str, *,
                 addr: Optional[int] = None,
                 function: Optional[str] = None,
                 cycle: Optional[int] = None,
-                hint: Optional[str] = None) -> str:
+                hint: Optional[str] = None,
+                path: Optional[str] = None,
+                line: Optional[int] = None,
+                col: Optional[int] = None) -> str:
     """The one shared diagnostic line format of the toolkit.
 
     Used by the linter's :class:`~repro.lint.diagnostics.Diagnostic`
     and the trace sanitizer's violation reports so every tool prints
     machine-grepable, uniformly shaped lines::
 
-        severity[RULE] cycle N @0xADDR (function): message
+        severity[RULE] path:line:col cycle N @0xADDR (function): message
             hint: ...
 
-    Location parts (*cycle*, *addr*, *function*) are optional and
-    omitted when unknown.  *hint* adds an indented fix-suggestion line.
+    Location parts (*path*/*line*/*col* for source files, *cycle* for
+    traces, *addr*/*function* for guest text) are optional and omitted
+    when unknown.  *hint* adds an indented fix-suggestion line.
     """
     parts = [f"{severity}[{rule}]"]
+    if path is not None:
+        location = path
+        if line is not None:
+            location += f":{line}"
+            if col is not None:
+                location += f":{col}"
+        parts.append(location)
     if cycle is not None:
         parts.append(f"cycle {cycle}")
     if addr is not None:

@@ -400,19 +400,59 @@ def _lint_targets(targets: List[str]):
 
 
 def cmd_lint(args) -> int:
-    from .lint import lint_program
-    programs, bad = _lint_targets(args.targets)
+    """Exit codes: 0 clean, 1 diagnostics found, 2 usage/internal error.
+
+    Without ``--strict`` only error-severity diagnostics exit 1;
+    with it any diagnostic does.
+    """
+    fmt = "json" if args.json else (args.format or "text")
+    if args.observers:
+        return _lint_observers(args, fmt)
+    from .isa.assembler import AssemblerError
+    from .lint import Linter
+    try:
+        programs, bad = _lint_targets(args.targets)
+    except (AssemblerError, OSError) as exc:
+        print(f"cannot lint: {exc}", file=sys.stderr)
+        return 2
     if bad:
         print("cannot lint: " + ", ".join(bad), file=sys.stderr)
         return 2
-    reports = [lint_program(program) for _label, program in programs]
-    if args.json:
+    linter = Linter(dataflow=args.dataflow)
+    reports = [linter.run(program,
+                          path=label if os.path.isfile(label) else None)
+               for label, program in programs]
+    if fmt == "json":
         print(json.dumps([report.to_dict() for report in reports],
                          indent=2))
     else:
         for report in reports:
             print(report.render())
-    return 1 if any(report.errors for report in reports) else 0
+    if any(report.errors for report in reports):
+        return 1
+    if args.strict and any(report.diagnostics for report in reports):
+        return 1
+    return 0
+
+
+def _lint_observers(args, fmt: str) -> int:
+    """``repro lint --observers``: contract-check Python sources."""
+    from .lint.contracts import check_observer_contracts
+    bad = [target for target in args.targets
+           if not os.path.exists(target)]
+    if bad:
+        print("cannot lint: " + ", ".join(bad), file=sys.stderr)
+        return 2
+    report = check_observer_contracts(args.targets)
+    if fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if report.errors:
+        return 1
+    if args.strict and report.diagnostics:
+        return 1
+    return 0
 
 
 def cmd_overhead(_args) -> int:
@@ -567,10 +607,28 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint", help="statically lint programs",
         description="Lint assembly files, directories of .s files, "
-                    "suite benchmark names, or imagick-orig/imagick-opt.")
+                    "suite benchmark names, or imagick-orig/imagick-opt. "
+                    "With --observers, targets are Python sources checked "
+                    "against the observer/profiler contracts (C001-C004). "
+                    "Exit status: 0 clean, 1 diagnostics found, 2 "
+                    "usage/internal error.")
     lint.add_argument("targets", nargs="+")
+    lint.add_argument("--format", choices=("text", "json"), default=None,
+                      help="output format (default text)")
     lint.add_argument("--json", action="store_true",
-                      help="emit diagnostics as JSON")
+                      help="shorthand for --format json")
+    lint.add_argument("--dataflow", dest="dataflow",
+                      action="store_true", default=True,
+                      help="enable the dataflow rule family "
+                           "L009-L013 (default)")
+    lint.add_argument("--no-dataflow", dest="dataflow",
+                      action="store_false",
+                      help="disable the dataflow rule family")
+    lint.add_argument("--observers", action="store_true",
+                      help="check observer/profiler contracts in "
+                           "Python sources")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 on any diagnostic, not only errors")
     lint.set_defaults(func=cmd_lint)
     return parser
 

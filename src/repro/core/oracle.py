@@ -558,6 +558,13 @@ class OracleProfiler(TraceObserver):
                           for acc in self._accumulators},
         }
 
+    def absorb(self, snapshots: Iterable[dict],
+               total_cycles: int) -> None:
+        """Merge-side leg of the shard protocol: fill this (fresh)
+        profiler's report from ordered shard snapshots."""
+        self.report = merge_oracle_snapshots(snapshots, total_cycles)
+        self._fast = None  # the report is final; don't re-flush scratch
+
     # -- internals -------------------------------------------------------------------
 
     def _resolve_drain(self, addr: int) -> None:

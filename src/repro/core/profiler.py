@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..cpu.trace import CycleRecord, TraceObserver
+from ..cpu.trace import CycleRecord, TraceObserver, shifted_record
 from .samples import Attribution, Category, Sample
 from .sampling import SampleSchedule
 
@@ -84,6 +84,50 @@ class SamplingProfiler(TraceObserver):
                 self._pending.clear()
         if self.schedule.is_sample(record.cycle):
             self._take_sample(record)
+
+    def on_stall_run(self, record: CycleRecord, count: int) -> None:
+        """Consume *count* identical stall cycles, visiting only the
+        cycles where something can happen.
+
+        For a pure stall record (nothing committed, nothing dispatched,
+        no exception) every skipped ``on_cycle`` call would update
+        state with an identical record and return: ``_update_state``
+        implementations are content-driven (idempotent on identical
+        records), ``_resolve`` can only newly fire at cycles named by
+        :meth:`_next_resolve_cycle`, and the schedule cannot fire
+        before ``schedule.next_sample``.  Records that commit or fault
+        fall back to the per-cycle loop.
+
+        Subclasses whose ``_update_state`` is *not* idempotent on
+        identical records must override this method (the C002 contract
+        check flags block-native profilers that forget).
+        """
+        if record.committed or record.dispatched \
+                or record.exception is not None:
+            TraceObserver.on_stall_run(self, record, count)
+            return
+        end = record.cycle + count
+        current = record
+        while True:
+            self.on_cycle(current)
+            nxt = self.schedule.next_sample
+            if self._pending:
+                resolve = self._next_resolve_cycle(current, end)
+                if resolve is not None and resolve < nxt:
+                    nxt = resolve
+            if nxt >= end:
+                break
+            current = shifted_record(record, nxt - record.cycle)
+
+    def _next_resolve_cycle(self, record: CycleRecord,
+                            end: int) -> Optional[int]:
+        """First cycle in ``(record.cycle, end)`` where ``_resolve``
+        could newly fire on identical records; ``None`` when resolution
+        is content-driven (identical records give identical answers).
+        Profilers with time-dependent resolution (interrupt skid)
+        override this.
+        """
+        return None
 
     def on_finish(self, final_cycle: int) -> None:
         self._pending.clear()

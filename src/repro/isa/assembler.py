@@ -76,6 +76,7 @@ class Assembler:
             line = _strip_comment(raw)
             if not line:
                 continue
+            builder.set_line(line_no)
             try:
                 self._assemble_line(builder, line)
             except AssemblerError:

@@ -40,7 +40,8 @@ class Program:
                  functions: List[FunctionSymbol], entry: int,
                  labels: Optional[Dict[str, int]] = None,
                  data: Optional[Dict[int, float]] = None,
-                 name: str = "program"):
+                 name: str = "program",
+                 lines: Optional[Dict[int, int]] = None):
         if not instructions:
             raise ValueError("a program needs at least one instruction")
         self.name = name
@@ -50,6 +51,9 @@ class Program:
         self.labels = dict(labels or {})
         #: Initial data memory contents (word address -> value).
         self.data = dict(data or {})
+        #: Source line numbers (instruction address -> 1-based line),
+        #: populated by the assembler; empty for generated programs.
+        self.lines = dict(lines or {})
         self._by_addr: Dict[int, Instruction] = {
             inst.addr: inst for inst in instructions
         }
@@ -102,7 +106,8 @@ class Program:
         data.update(other.data)
         return Program(self.instructions + other.instructions,
                        self.functions + other.functions, self.entry,
-                       {**self.labels, **other.labels}, data, self.name)
+                       {**self.labels, **other.labels}, data, self.name,
+                       {**self.lines, **other.lines})
 
     def __repr__(self) -> str:
         return (f"<Program {self.name!r}: {len(self.instructions)} insts, "
@@ -131,6 +136,8 @@ class ProgramBuilder:
         self._functions: List[dict] = []
         self._data: Dict[int, float] = {}
         self._entry_label: Optional[str] = None
+        self._lines: Dict[int, int] = {}
+        self._line: Optional[int] = None
 
     # -- construction --------------------------------------------------------
 
@@ -167,12 +174,21 @@ class ProgramBuilder:
         self._data[addr] = value
         return self
 
+    def set_line(self, line_no: Optional[int]) -> "ProgramBuilder":
+        """Tag subsequently emitted instructions with a source line."""
+        self._line = line_no
+        return self
+
     def emit(self, op: Op, rd: Optional[int] = None,
              sources: tuple = (), imm: int = 0,
              target: Optional[str] = None) -> Instruction:
         """Append an instruction; *target* is a label for control flow."""
         inst = Instruction(op, rd, tuple(sources), imm, self.next_addr)
         self._insts.append(inst)
+        if self._line is not None:
+            # Keyed by address: the pending-branch rebuild in build()
+            # replaces instructions in place at the same address.
+            self._lines[inst.addr] = self._line
         if target is not None:
             self._pending.append(_PendingBranch(len(self._insts) - 1, target))
         return inst
@@ -198,4 +214,5 @@ class ProgramBuilder:
         else:
             entry = self.base
         return Program(list(self._insts), functions, entry,
-                       dict(self._labels), dict(self._data), self.name)
+                       dict(self._labels), dict(self._data), self.name,
+                       dict(self._lines))

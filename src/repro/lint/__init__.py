@@ -1,32 +1,54 @@
 """Static program linter and dynamic commit-trace sanitizer.
 
-Two analysis layers over the same invariants the profilers depend on:
+Three analysis layers over the same invariants the profilers depend on:
 
-* :mod:`repro.lint.cfg` + :mod:`repro.lint.rules` -- a control-flow
-  graph over :class:`~repro.isa.program.Program` text feeding rule-based
-  static checks (the Imagick flush-in-loop anti-pattern of Section 6,
-  unreachable code, fall-through off text, symbol overlaps, ...);
+* :mod:`repro.lint.cfg` + :mod:`repro.lint.dataflow` +
+  :mod:`repro.lint.rules` -- a control-flow graph over
+  :class:`~repro.isa.program.Program` text, a worklist dataflow engine
+  (reaching definitions, liveness, definite assignment, conditional
+  constants, dominators/loop nesting) and rule-based static checks: the
+  syntactic Imagick flush-in-loop anti-pattern of Section 6 (L001) and
+  its semantic, dataflow-proven generalisation (L012), unreachable
+  code, uninitialized reads, dead stores, loops with no time-driven
+  exit, ...;
+* :mod:`repro.lint.contracts` -- an AST-based conformance checker for
+  the observer/profiler contracts the fast paths rely on (block-native
+  hook pairing, batched-stall pairing, shard protocol completeness,
+  shared-state hazards): ``repro lint --observers``;
 * :mod:`repro.lint.sanitizer` -- a :class:`~repro.cpu.trace.TraceObserver`
   that validates every cycle of the commit-stage trace against the
   commit invariants (program order, commit width, flush-drain,
   bank rotation) and fails fast with a cycle-numbered report.
 
-Entry points: :func:`lint_program`, :class:`TraceSanitizer`, and the
-CLI (``repro lint``, ``--sanitize``).
+Entry points: :func:`lint_program`, :func:`check_observer_contracts`,
+:class:`TraceSanitizer`, and the CLI (``repro lint``, ``--sanitize``).
 """
 
 from .cfg import BasicBlock, ControlFlowGraph, Loop, build_cfg
+from .contracts import (CONTRACT_RULES, ContractReport,
+                        check_observer_contracts)
+from .dataflow import (ALL_REGS, BACKWARD, BlockState,
+                       ConditionalConstants, DataflowAnalysis,
+                       DefiniteAssignment, DominatorTree, ENTRY_DEF,
+                       FORWARD, Liveness, LoopNest, ReachingDefinitions,
+                       loop_invariant_addrs, solve)
 from .diagnostics import Diagnostic, Severity
 from .linter import Linter, LintReport, lint_program
-from .rules import (DEFAULT_RULES, LintContext, LintRule, RULES_BY_ID,
+from .rules import (DATAFLOW_RULE_IDS, DEFAULT_RULES, LintContext,
+                    LintRule, RULES_BY_ID, SELF_CHECK_RULE_IDS,
                     STRUCTURAL_RULE_IDS)
 from .sanitizer import TraceInvariantError, TraceSanitizer, sanitize_trace
 
 __all__ = [
     "BasicBlock", "ControlFlowGraph", "Loop", "build_cfg",
+    "ALL_REGS", "BACKWARD", "BlockState", "ConditionalConstants",
+    "DataflowAnalysis", "DefiniteAssignment", "DominatorTree",
+    "ENTRY_DEF", "FORWARD", "Liveness", "LoopNest",
+    "ReachingDefinitions", "loop_invariant_addrs", "solve",
+    "CONTRACT_RULES", "ContractReport", "check_observer_contracts",
     "Diagnostic", "Severity",
     "Linter", "LintReport", "lint_program",
-    "DEFAULT_RULES", "LintContext", "LintRule", "RULES_BY_ID",
-    "STRUCTURAL_RULE_IDS",
+    "DATAFLOW_RULE_IDS", "DEFAULT_RULES", "LintContext", "LintRule",
+    "RULES_BY_ID", "SELF_CHECK_RULE_IDS", "STRUCTURAL_RULE_IDS",
     "TraceInvariantError", "TraceSanitizer", "sanitize_trace",
 ]

@@ -1,0 +1,653 @@
+"""Dataflow analyses over the linter's control-flow graph.
+
+A generic worklist fixpoint solver plus the concrete analyses the
+L009-L013 rule family is built on:
+
+* :class:`ReachingDefinitions` -- forward may-analysis mapping each
+  register to the set of definition sites (instruction addresses, plus
+  the :data:`ENTRY_DEF` pseudo-site for values live at function entry)
+  that may supply its value;
+* :class:`Liveness` -- backward may-analysis of the registers whose
+  values may still be read;
+* :class:`DefiniteAssignment` -- forward must-analysis of the registers
+  assigned on *every* path from the entry (uninitialized-read checks);
+* :class:`ConditionalConstants` -- simple constant propagation with
+  infeasible-edge pruning (a lightweight sparse-conditional variant):
+  folds integer ALU results through :func:`repro.isa.semantics.evaluate`
+  so the lattice agrees with the core's functional semantics, and marks
+  blocks only reachable through statically-false branches;
+* :func:`loop_invariant_addrs` -- the classic LICM closure over
+  reaching definitions, used to prove that a flush-inducing CSR
+  instruction recomputes the same value every loop iteration (the
+  semantic generalisation of the paper's Section 6 Imagick rule).
+
+:class:`DominatorTree` and :class:`LoopNest` derive the immediate
+dominator relation and the natural-loop nesting from the CFG's
+dominator sets; rules use them to phrase "hoist to the preheader"
+fix hints and to pick innermost loops.
+
+All analyses are per-function: the CFG's ``successors``/``predecessors``
+edges are intra-function by construction, and calls are modelled
+conservatively (a call may read and define every register).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (Any, Dict, FrozenSet, Iterable, Iterator, List,
+                    Optional, Set, Tuple)
+
+from ..isa.instruction import Instruction, Register
+from ..isa.opcodes import Kind, Op
+from ..isa.semantics import evaluate
+from .cfg import BasicBlock, ControlFlowGraph, Loop
+
+#: Pseudo definition site: "defined before the function was entered".
+ENTRY_DEF = -1
+
+_ENTRY_SITES: FrozenSet[int] = frozenset({ENTRY_DEF})
+
+#: Every register a function boundary may carry a value in.  ``x0`` is
+#: excluded throughout: it is hard-wired to zero, so it is always
+#: defined, always constant, and writes to it are discarded.
+ALL_REGS: FrozenSet[int] = frozenset(range(1, Register.TOTAL))
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+#: Opcodes the constant folder may evaluate: the integer ALU subset
+#: whose results depend only on register operands and the immediate
+#: (loads, CSR reads and FP ops are never folded).
+_FOLDABLE: FrozenSet[Op] = frozenset({
+    Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL, Op.SLT,
+    Op.MUL, Op.DIV, Op.REM,
+    Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI, Op.SLTI,
+    Op.LUI,
+})
+
+#: Kinds whose result is a pure function of register operands, i.e.
+#: candidates for loop-invariance.  Memory (value may change between
+#: iterations) and control flow are excluded; CSR accesses are included
+#: deliberately -- the Section 6 anti-pattern is exactly a CSR whose
+#: *operands* are invariant, so the access can be hoisted or dropped.
+_INVARIANT_KINDS = frozenset({
+    Kind.ALU, Kind.MUL, Kind.DIV, Kind.FP_ALU, Kind.FP_DIV, Kind.CSR,
+    Kind.NOP,
+})
+
+
+# -- register def/use model -------------------------------------------------
+
+def defined_registers(inst: Instruction) -> Tuple[int, ...]:
+    """Registers *inst* writes (writes to ``x0`` are discarded)."""
+    if inst.rd is None or inst.rd == 0:
+        return ()
+    return (inst.rd,)
+
+
+def used_registers(inst: Instruction) -> Tuple[int, ...]:
+    """Registers *inst* reads (``x0`` is always defined, so omitted)."""
+    return tuple(reg for reg in inst.sources if reg != 0)
+
+
+def is_call_like(inst: Instruction) -> bool:
+    """Calls and indirect calls: may read and define every register."""
+    if inst.kind is Kind.CALL and not inst.is_jump:
+        return True
+    return inst.kind is Kind.RETURN and inst.can_fall_through
+
+
+# -- the generic solver -----------------------------------------------------
+
+class BlockState:
+    """Fixpoint values at one block's entry and exit."""
+
+    __slots__ = ("entry", "exit")
+
+    def __init__(self, entry: Any, exit: Any):
+        self.entry = entry
+        self.exit = exit
+
+    def __repr__(self) -> str:
+        return f"<state in={self.entry!r} out={self.exit!r}>"
+
+
+class DataflowAnalysis:
+    """One dataflow problem: a lattice plus per-instruction transfer.
+
+    Subclasses set :attr:`direction` and implement :meth:`boundary`
+    (the value at the function boundary), :meth:`init` (the solver's
+    starting interior value -- the lattice top for must-problems, the
+    bottom for may-problems), :meth:`meet` and
+    :meth:`transfer_instruction`.  Values must support ``==`` and must
+    never be mutated in place; the solver compares them to detect the
+    fixpoint.
+    """
+
+    direction: str = FORWARD
+
+    def boundary(self) -> Any:
+        raise NotImplementedError
+
+    def init(self) -> Any:
+        raise NotImplementedError
+
+    def meet(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def exit_value(self, block: BasicBlock) -> Any:
+        """Boundary value where control leaves the function after
+        *block* (backward analyses only).  Defaults to the uniform
+        :meth:`boundary`; override to refine per exit kind."""
+        return self.boundary()
+
+    def transfer_instruction(self, inst: Instruction, value: Any) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, value: Any) -> Any:
+        """Fold the per-instruction transfer over a whole block."""
+        instructions: Iterable[Instruction] = block.instructions
+        if self.direction == BACKWARD:
+            instructions = reversed(block.instructions)
+        for inst in instructions:
+            value = self.transfer_instruction(inst, value)
+        return value
+
+
+def _function_blocks(cfg: ControlFlowGraph,
+                     function: str) -> Tuple[Optional[int], Set[int]]:
+    """The function's root block and the blocks reachable from it."""
+    indices = cfg.functions.get(function, [])
+    if not indices:
+        return None, set()
+    root = indices[0]
+    local: Set[int] = set()
+    work = [root]
+    while work:
+        index = work.pop()
+        if index in local:
+            continue
+        local.add(index)
+        work.extend(cfg.blocks[index].successors)
+    return root, local
+
+
+def _leaves_function(block: BasicBlock, succs: List[int]) -> bool:
+    """Control may leave the function after *block* (boundary applies)."""
+    if not succs or block.falls_off or block.call_targets:
+        return True
+    return block.terminator.kind in (Kind.RETURN, Kind.HALT, Kind.SRET)
+
+
+def solve(analysis: DataflowAnalysis, cfg: ControlFlowGraph,
+          function: str) -> Dict[int, BlockState]:
+    """Worklist fixpoint of *analysis* over one function's blocks.
+
+    Returns ``{block index: BlockState}`` for every block reachable
+    from the function's first block; ``entry``/``exit`` are always the
+    values at the block's entry/exit regardless of direction.
+    Terminates for any monotone transfer over a finite lattice: block
+    values only ever move down the lattice, and a block is only
+    re-queued when an input value changed.
+    """
+    root, local = _function_blocks(cfg, function)
+    if root is None:
+        return {}
+    states = {index: BlockState(analysis.init(), analysis.init())
+              for index in local}
+    forward = analysis.direction == FORWARD
+    order = sorted(local)
+    work = deque(order)
+    queued = set(order)
+    while work:
+        index = work.popleft()
+        queued.discard(index)
+        block = cfg.blocks[index]
+        state = states[index]
+        if forward:
+            value = analysis.init()
+            for pred in block.predecessors:
+                if pred in local:
+                    value = analysis.meet(value, states[pred].exit)
+            if index == root:
+                value = analysis.meet(value, analysis.boundary())
+            out = analysis.transfer(block, value)
+            changed = out != state.exit
+            state.entry, state.exit = value, out
+            if changed:
+                for succ in block.successors:
+                    if succ in local and succ not in queued:
+                        queued.add(succ)
+                        work.append(succ)
+        else:
+            succs = [s for s in block.successors if s in local]
+            value = analysis.init()
+            for succ in succs:
+                value = analysis.meet(value, states[succ].entry)
+            if _leaves_function(block, succs):
+                value = analysis.meet(value, analysis.exit_value(block))
+            entry = analysis.transfer(block, value)
+            changed = entry != state.entry
+            state.entry, state.exit = entry, value
+            if changed:
+                for pred in block.predecessors:
+                    if pred in local and pred not in queued:
+                        queued.add(pred)
+                        work.append(pred)
+    return states
+
+
+# -- reaching definitions ---------------------------------------------------
+
+class ReachingDefinitions(DataflowAnalysis):
+    """Which definition sites may supply each register's value.
+
+    Values are ``{register: frozenset(addresses)}``; the pseudo-address
+    :data:`ENTRY_DEF` stands for "whatever the function was entered
+    with".  Calls conservatively define every register at the call's
+    address.
+    """
+
+    direction = FORWARD
+
+    def __init__(self, cfg: ControlFlowGraph, function: str):
+        self.cfg = cfg
+        self.function = function
+        self.states = solve(self, cfg, function)
+
+    def boundary(self) -> Dict[int, FrozenSet[int]]:
+        return {reg: _ENTRY_SITES for reg in ALL_REGS}
+
+    def init(self) -> Dict[int, FrozenSet[int]]:
+        return {}
+
+    def meet(self, a: Dict[int, FrozenSet[int]],
+             b: Dict[int, FrozenSet[int]]) -> Dict[int, FrozenSet[int]]:
+        if not a:
+            return b
+        if not b:
+            return a
+        out = dict(a)
+        for reg, sites in b.items():
+            current = out.get(reg)
+            out[reg] = sites if current is None else current | sites
+        return out
+
+    def transfer_instruction(self, inst: Instruction,
+                             value: Dict[int, FrozenSet[int]]
+                             ) -> Dict[int, FrozenSet[int]]:
+        if is_call_like(inst):
+            site = frozenset({inst.addr})
+            return {reg: site for reg in ALL_REGS}
+        defs = defined_registers(inst)
+        if not defs:
+            return value
+        value = dict(value)
+        for reg in defs:
+            value[reg] = frozenset({inst.addr})
+        return value
+
+    def at(self, block: BasicBlock
+           ) -> Iterator[Tuple[Instruction, Dict[int, FrozenSet[int]]]]:
+        """Yield ``(inst, env-before-inst)`` in program order."""
+        state = self.states.get(block.index)
+        env: Dict[int, FrozenSet[int]] = {} if state is None \
+            else state.entry
+        for inst in block.instructions:
+            yield inst, env
+            env = self.transfer_instruction(inst, env)
+
+
+# -- liveness ---------------------------------------------------------------
+
+class Liveness(DataflowAnalysis):
+    """Registers whose values may still be read (backward may).
+
+    Function boundaries are conservative: everything is live at
+    returns, fall-offs and tail jumps (results flow to the caller),
+    and calls read every register (argument passing).  The one exact
+    boundary is ``halt`` -- the machine stops, so nothing is live.
+    """
+
+    direction = BACKWARD
+
+    def __init__(self, cfg: ControlFlowGraph, function: str):
+        self.cfg = cfg
+        self.function = function
+        self.states = solve(self, cfg, function)
+
+    def boundary(self) -> FrozenSet[int]:
+        return ALL_REGS
+
+    def exit_value(self, block: BasicBlock) -> FrozenSet[int]:
+        if not block.falls_off and not block.call_targets \
+                and block.terminator.kind is Kind.HALT:
+            return frozenset()
+        return ALL_REGS
+
+    def init(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def meet(self, a: FrozenSet[int],
+             b: FrozenSet[int]) -> FrozenSet[int]:
+        return a | b
+
+    def transfer_instruction(self, inst: Instruction,
+                             value: FrozenSet[int]) -> FrozenSet[int]:
+        if is_call_like(inst):
+            return ALL_REGS
+        defs = defined_registers(inst)
+        if defs:
+            value = value - frozenset(defs)
+        uses = used_registers(inst)
+        if uses:
+            value = value | frozenset(uses)
+        return value
+
+    def live_after(self, block: BasicBlock) -> List[FrozenSet[int]]:
+        """Live-after set of each instruction, in program order."""
+        state = self.states.get(block.index)
+        value: FrozenSet[int] = frozenset() if state is None \
+            else state.exit
+        out: List[FrozenSet[int]] = []
+        for inst in reversed(block.instructions):
+            out.append(value)
+            value = self.transfer_instruction(inst, value)
+        out.reverse()
+        return out
+
+
+# -- definite assignment ----------------------------------------------------
+
+class DefiniteAssignment(DataflowAnalysis):
+    """Registers assigned on every path from the function entry."""
+
+    direction = FORWARD
+
+    def __init__(self, cfg: ControlFlowGraph, function: str):
+        self.cfg = cfg
+        self.function = function
+        self.states = solve(self, cfg, function)
+
+    def boundary(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def init(self) -> FrozenSet[int]:
+        return ALL_REGS  # lattice top for the must-intersection
+
+    def meet(self, a: FrozenSet[int],
+             b: FrozenSet[int]) -> FrozenSet[int]:
+        return a & b
+
+    def transfer_instruction(self, inst: Instruction,
+                             value: FrozenSet[int]) -> FrozenSet[int]:
+        if is_call_like(inst):
+            return ALL_REGS
+        defs = defined_registers(inst)
+        if defs:
+            value = value | frozenset(defs)
+        return value
+
+    def at(self, block: BasicBlock
+           ) -> Iterator[Tuple[Instruction, FrozenSet[int]]]:
+        """Yield ``(inst, assigned-before-inst)`` in program order."""
+        state = self.states.get(block.index)
+        value: FrozenSet[int] = ALL_REGS if state is None \
+            else state.entry
+        for inst in block.instructions:
+            yield inst, value
+            value = self.transfer_instruction(inst, value)
+
+
+# -- constant propagation with infeasible-edge pruning ----------------------
+
+#: A constant environment: register -> known integer value.  A missing
+#: register is *not a constant*; ``x0`` is implicitly always zero.
+ConstEnv = Dict[int, int]
+
+
+def _const_operands(inst: Instruction,
+                    env: ConstEnv) -> Optional[Tuple[int, ...]]:
+    values = []
+    for reg in inst.sources:
+        value = 0 if reg == 0 else env.get(reg)
+        if value is None:
+            return None
+        values.append(value)
+    return tuple(values)
+
+
+def fold_constant(inst: Instruction, env: ConstEnv) -> Optional[int]:
+    """Fold *inst* to an integer constant under *env*, if possible.
+
+    Delegates to :func:`repro.isa.semantics.evaluate` so folded values
+    agree with what the core would compute (64-bit wrapping, RISC-V
+    division-by-zero results, shift masking).
+    """
+    if inst.op not in _FOLDABLE:
+        return None
+    operands = _const_operands(inst, env)
+    if operands is None:
+        return None
+    result = evaluate(inst, operands).value
+    return result if isinstance(result, int) else None
+
+
+def branch_verdict(inst: Instruction,
+                   env: ConstEnv) -> Optional[bool]:
+    """Statically-known outcome of a conditional branch, if any."""
+    if not inst.is_branch:
+        return None
+    operands = _const_operands(inst, env)
+    if operands is None:
+        return None
+    return evaluate(inst, operands).taken
+
+
+def _const_transfer(inst: Instruction, env: ConstEnv) -> ConstEnv:
+    if is_call_like(inst):
+        return {}
+    defs = defined_registers(inst)
+    if not defs:
+        return env
+    value = fold_constant(inst, env)
+    env = dict(env)
+    for reg in defs:
+        if value is None:
+            env.pop(reg, None)
+        else:
+            env[reg] = value
+    return env
+
+
+def _const_meet(a: ConstEnv, b: ConstEnv) -> ConstEnv:
+    return {reg: value for reg, value in a.items()
+            if b.get(reg) == value}
+
+
+class ConditionalConstants:
+    """Constant propagation that prunes statically-false branch edges.
+
+    A lightweight sparse-conditional solver: block environments start
+    unreached and only blocks reachable through *feasible* edges are
+    processed, so a branch whose condition folds to a constant never
+    propagates into its dead arm.  Exposes:
+
+    * ``executable`` -- blocks reachable along feasible edges;
+    * ``structural`` -- blocks reachable from the function root
+      ignoring conditions (the set L003 considers);
+    * ``entry_env(index)`` -- the constant environment at block entry;
+    * ``verdicts`` -- ``{block index: True (always taken) | False
+      (always falls through)}`` for constant-condition branches.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, function: str):
+        self.cfg = cfg
+        self.function = function
+        root, local = _function_blocks(cfg, function)
+        self.structural = local
+        self._env_in: Dict[int, ConstEnv] = {}
+        self.verdicts: Dict[int, bool] = {}
+        if root is None:
+            self.executable: Set[int] = set()
+            return
+        self._env_in[root] = {}
+        work = deque([root])
+        queued = {root}
+        while work:
+            index = work.popleft()
+            queued.discard(index)
+            block = cfg.blocks[index]
+            env = self._env_in[index]
+            for inst in block.instructions[:-1]:
+                env = _const_transfer(inst, env)
+            term = block.terminator
+            verdict = branch_verdict(term, env)
+            env = _const_transfer(term, env)
+            feasible = block.successors
+            if verdict is None:
+                self.verdicts.pop(index, None)
+            else:
+                self.verdicts[index] = verdict
+                target = term.imm if verdict else term.next_addr
+                keep = cfg.block_index_of(target)
+                feasible = [s for s in block.successors if s == keep]
+            for succ in feasible:
+                old = self._env_in.get(succ)
+                new = env if old is None else _const_meet(old, env)
+                if old is None or new != old:
+                    self._env_in[succ] = new
+                    if succ not in queued:
+                        queued.add(succ)
+                        work.append(succ)
+        self.executable = set(self._env_in)
+
+    def entry_env(self, index: int) -> Optional[ConstEnv]:
+        """Constants at block entry; ``None`` if never executable."""
+        return self._env_in.get(index)
+
+
+# -- dominator tree and loop nesting ----------------------------------------
+
+class DominatorTree:
+    """Immediate dominators derived from the CFG's dominator sets.
+
+    The dominators of a block form a chain under set inclusion, so the
+    immediate dominator is simply the strict dominator with the largest
+    dominator set of its own.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, function: str):
+        self._dom = cfg.dominators(function)
+        indices = cfg.functions.get(function, [])
+        self.root: Optional[int] = indices[0] if indices else None
+        self.idom: Dict[int, Optional[int]] = {}
+        for index, doms in self._dom.items():
+            strict = [d for d in doms if d != index]
+            if strict:
+                sets = self._dom
+                self.idom[index] = max(
+                    strict, key=lambda d: len(sets[d]))
+            else:
+                self.idom[index] = None
+
+    def dominates(self, a: int, b: int) -> bool:
+        return a in self._dom.get(b, ())
+
+    def dominators_of(self, index: int) -> Set[int]:
+        return set(self._dom.get(index, ()))
+
+
+class LoopNest:
+    """Natural-loop nesting for one function.
+
+    A loop's parent is the smallest natural loop whose body strictly
+    contains it; nesting depth counts enclosing loops (an outermost
+    loop has depth 1).
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, function: str):
+        self.loops: List[Loop] = [loop for loop in cfg.loops
+                                  if loop.function == function]
+        self.parent: List[Optional[int]] = []
+        for i, loop in enumerate(self.loops):
+            enclosing = [j for j, other in enumerate(self.loops)
+                         if j != i and loop.body < other.body]
+            if enclosing:
+                loops = self.loops
+                self.parent.append(
+                    min(enclosing, key=lambda j: len(loops[j].body)))
+            else:
+                self.parent.append(None)
+
+    def depth(self, i: int) -> int:
+        """Nesting depth of loop *i* (1 = outermost)."""
+        depth = 1
+        parent = self.parent[i]
+        while parent is not None:
+            depth += 1
+            parent = self.parent[parent]
+        return depth
+
+    def innermost(self, block_index: int) -> Optional[Loop]:
+        """The smallest loop whose body contains *block_index*."""
+        best: Optional[Loop] = None
+        for loop in self.loops:
+            if block_index in loop.body:
+                if best is None or len(loop.body) < len(best.body):
+                    best = loop
+        return best
+
+
+# -- loop-invariant detection -----------------------------------------------
+
+def _invariant_candidate(inst: Instruction) -> bool:
+    return inst.kind in _INVARIANT_KINDS
+
+
+def loop_invariant_addrs(cfg: ControlFlowGraph,
+                         reaching: ReachingDefinitions,
+                         region: Iterable[int], *,
+                         entry_is_variant: bool = False) -> Set[int]:
+    """Addresses of region instructions whose operands cannot change
+    between executions of the region.
+
+    *region* is a set of block indices -- a natural loop's body, or a
+    whole callee when the "loop" is being called repeatedly (the
+    Imagick shape; pass ``entry_is_variant=True`` there, because the
+    values a callee is entered with differ per call).  The closure is
+    the classic LICM one: an instruction is invariant iff every operand
+    is supplied either only by definitions outside the region, or by
+    exactly one region definition that is itself invariant.
+    """
+    region_set = set(region)
+    region_addrs = {inst.addr for index in region_set
+                    for inst in cfg.blocks[index].instructions}
+    invariant: Set[int] = set()
+
+    def use_invariant(reg: int, env: Dict[int, FrozenSet[int]]) -> bool:
+        sites = env.get(reg)
+        if not sites:
+            return False  # no reaching-def info: stay conservative
+        if entry_is_variant and ENTRY_DEF in sites:
+            return False
+        inside = sites & frozenset(region_addrs)
+        if not inside:
+            return True
+        return len(sites) == 1 and next(iter(inside)) in invariant
+
+    changed = True
+    while changed:
+        changed = False
+        for index in sorted(region_set):
+            block = cfg.blocks[index]
+            for inst, env in reaching.at(block):
+                if inst.addr in invariant:
+                    continue
+                if not _invariant_candidate(inst):
+                    continue
+                if all(use_invariant(reg, env)
+                       for reg in used_registers(inst)):
+                    invariant.add(inst.addr)
+                    changed = True
+    return invariant

@@ -43,6 +43,9 @@ class Diagnostic:
     function: Optional[str] = None
     cycle: Optional[int] = None
     fix_hint: Optional[str] = None
+    path: Optional[str] = None
+    line: Optional[int] = None
+    col: Optional[int] = None
 
     @property
     def is_error(self) -> bool:
@@ -51,15 +54,22 @@ class Diagnostic:
     def render(self) -> str:
         return format_diag(self.severity.value, self.rule, self.message,
                            addr=self.addr, function=self.function,
-                           cycle=self.cycle, hint=self.fix_hint)
+                           cycle=self.cycle, hint=self.fix_hint,
+                           path=self.path, line=self.line, col=self.col)
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-friendly form (for ``repro lint --json`` and CI)."""
+        """JSON-friendly form (for ``repro lint --format json`` and CI)."""
         out: Dict[str, Any] = {
             "rule": self.rule,
             "severity": self.severity.value,
             "message": self.message,
         }
+        if self.path is not None:
+            out["path"] = self.path
+        if self.line is not None:
+            out["line"] = self.line
+        if self.col is not None:
+            out["col"] = self.col
         if self.addr is not None:
             out["addr"] = f"{self.addr:#x}"
         if self.function is not None:

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..isa.program import Program
 from .cfg import build_cfg
 from .diagnostics import Diagnostic, Severity
-from .rules import (DEFAULT_RULES, LintContext, LintRule, RULES_BY_ID,
+from .rules import (DATAFLOW_RULE_IDS, DEFAULT_RULES, LintContext,
+                    LintRule, RULES_BY_ID, SELF_CHECK_RULE_IDS,
                     STRUCTURAL_RULE_IDS)
 
 
@@ -53,26 +55,48 @@ class LintReport:
 class Linter:
     """Runs a configurable rule set over programs."""
 
-    def __init__(self, rules: Optional[Sequence[LintRule]] = None):
-        self.rules: List[LintRule] = list(
-            DEFAULT_RULES if rules is None else rules)
+    def __init__(self, rules: Optional[Sequence[LintRule]] = None,
+                 dataflow: bool = True):
+        selected = list(DEFAULT_RULES if rules is None else rules)
+        if not dataflow:
+            selected = [rule for rule in selected
+                        if rule.rule_id not in DATAFLOW_RULE_IDS]
+        self.rules: List[LintRule] = selected
 
     @classmethod
     def structural(cls) -> "Linter":
         """Only the structural (error-severity) self-check rules."""
         return cls([RULES_BY_ID[rid] for rid in STRUCTURAL_RULE_IDS])
 
-    def run(self, program: Program) -> LintReport:
+    @classmethod
+    def self_check(cls) -> "Linter":
+        """The workload-generator gate: structural errors plus
+        const-proven unreachable code (L011)."""
+        return cls([RULES_BY_ID[rid] for rid in SELF_CHECK_RULE_IDS])
+
+    def run(self, program: Program,
+            path: Optional[str] = None) -> LintReport:
+        """Lint *program*; *path* attaches source file/line locations
+        (lines come from ``program.lines``, the assembler's map)."""
         ctx = LintContext(program, build_cfg(program))
         report = LintReport(program.name)
         for rule in self.rules:
             report.diagnostics.extend(rule.check(ctx))
+        if path is not None:
+            report.diagnostics = [
+                dataclasses.replace(
+                    d, path=path,
+                    line=(program.lines.get(d.addr)
+                          if d.addr is not None else None))
+                for d in report.diagnostics]
         report.diagnostics.sort(
             key=lambda d: (-d.severity.rank, d.addr or 0, d.rule))
         return report
 
 
 def lint_program(program: Program,
-                 rules: Optional[Sequence[LintRule]] = None) -> LintReport:
+                 rules: Optional[Sequence[LintRule]] = None,
+                 dataflow: bool = True,
+                 path: Optional[str] = None) -> LintReport:
     """Lint *program* with the default (or a custom) rule set."""
-    return Linter(rules).run(program)
+    return Linter(rules, dataflow=dataflow).run(program, path=path)

@@ -17,26 +17,83 @@ docs table in ``docs/lint.md``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import (Dict, FrozenSet, Iterator, List, Optional, Set,
+                    Tuple)
 
 from ..isa.instruction import Register
 from ..isa.opcodes import Kind
 from ..isa.program import FunctionSymbol, Program
 from .cfg import ControlFlowGraph
+from .dataflow import (ConditionalConstants, DefiniteAssignment, Liveness,
+                       LoopNest, ReachingDefinitions, loop_invariant_addrs,
+                       used_registers)
 from .diagnostics import Diagnostic, Severity
 
 
 @dataclass
 class LintContext:
-    """Everything a rule may consult, computed once per program."""
+    """Everything a rule may consult, computed once per program.
+
+    The dataflow analyses are per-function and lazy: the first rule to
+    ask for one pays for the fixpoint, later rules share the cache.
+    """
 
     program: Program
     cfg: ControlFlowGraph
+    _reaching: Dict[str, ReachingDefinitions] = field(
+        default_factory=dict, init=False, repr=False)
+    _liveness: Dict[str, Liveness] = field(
+        default_factory=dict, init=False, repr=False)
+    _assignment: Dict[str, DefiniteAssignment] = field(
+        default_factory=dict, init=False, repr=False)
+    _constants: Dict[str, ConditionalConstants] = field(
+        default_factory=dict, init=False, repr=False)
+    _loop_nests: Dict[str, LoopNest] = field(
+        default_factory=dict, init=False, repr=False)
+    _invariants: Dict[Tuple[str, FrozenSet[int], bool], Set[int]] = field(
+        default_factory=dict, init=False, repr=False)
 
     def function_name(self, addr: int) -> Optional[str]:
         func = self.program.function_of(addr)
         return func.name if func is not None else None
+
+    def reaching(self, function: str) -> ReachingDefinitions:
+        if function not in self._reaching:
+            self._reaching[function] = ReachingDefinitions(
+                self.cfg, function)
+        return self._reaching[function]
+
+    def liveness(self, function: str) -> Liveness:
+        if function not in self._liveness:
+            self._liveness[function] = Liveness(self.cfg, function)
+        return self._liveness[function]
+
+    def assignment(self, function: str) -> DefiniteAssignment:
+        if function not in self._assignment:
+            self._assignment[function] = DefiniteAssignment(
+                self.cfg, function)
+        return self._assignment[function]
+
+    def constants(self, function: str) -> ConditionalConstants:
+        if function not in self._constants:
+            self._constants[function] = ConditionalConstants(
+                self.cfg, function)
+        return self._constants[function]
+
+    def loop_nest(self, function: str) -> LoopNest:
+        if function not in self._loop_nests:
+            self._loop_nests[function] = LoopNest(self.cfg, function)
+        return self._loop_nests[function]
+
+    def invariants(self, function: str, region: FrozenSet[int],
+                   entry_is_variant: bool) -> Set[int]:
+        key = (function, region, entry_is_variant)
+        if key not in self._invariants:
+            self._invariants[key] = loop_invariant_addrs(
+                self.cfg, self.reaching(function), region,
+                entry_is_variant=entry_is_variant)
+        return self._invariants[key]
 
 
 class LintRule:
@@ -303,6 +360,259 @@ class ImplicitFallThroughRule(LintRule):
                          "jump")
 
 
+class UninitializedReadRule(LintRule):
+    """Reads of registers no definition dominates (entry function only).
+
+    Uses the definite-assignment must-analysis: at the program entry
+    point nothing has been initialized, so a read the analysis cannot
+    prove assigned on *every* path really does observe whatever the
+    reset state left behind.  Non-entry functions are exempt -- their
+    live-in registers are arguments supplied by the caller, which the
+    intraprocedural analysis cannot see.
+    """
+
+    rule_id = "L009"
+    name = "uninitialized-read"
+    severity = Severity.WARNING
+    description = ("register read before any assignment on some path "
+                   "from the program entry point")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        entry_fn = ctx.function_name(ctx.program.entry)
+        if entry_fn is None:
+            return
+        indices = ctx.cfg.functions.get(entry_fn)
+        if not indices \
+                or ctx.cfg.blocks[indices[0]].start != ctx.program.entry:
+            return  # entry is mid-function; the walk would be wrong
+        assignment = ctx.assignment(entry_fn)
+        flagged: set = set()
+        for index in sorted(assignment.states):
+            block = ctx.cfg.blocks[index]
+            for inst, assigned in assignment.at(block):
+                for reg in used_registers(inst):
+                    if reg in assigned or reg in flagged:
+                        continue
+                    flagged.add(reg)
+                    yield self.diag(
+                        f"{inst.op.value} reads {Register.name(reg)} "
+                        f"before any assignment on some path from the "
+                        f"entry point",
+                        addr=inst.addr, function=block.function,
+                        fix_hint=f"initialize {Register.name(reg)} "
+                                 f"before this use")
+
+
+class DeadStoreRule(LintRule):
+    """Computed values no later instruction can ever read.
+
+    Backward liveness with conservative boundaries: everything is live
+    at returns/halts and across calls, so a store flagged here is dead
+    on *every* path, not just the hot one.  Only pure computation kinds
+    are candidates -- memory, control and CSR accesses have effects
+    beyond their destination register.
+    """
+
+    rule_id = "L010"
+    name = "dead-store"
+    severity = Severity.WARNING
+    description = ("instruction result is never read on any path "
+                   "(dead store)")
+
+    _KINDS = frozenset({Kind.ALU, Kind.MUL, Kind.DIV, Kind.FP_ALU,
+                        Kind.FP_DIV})
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for function in ctx.cfg.functions:
+            liveness = ctx.liveness(function)
+            for index in sorted(liveness.states):
+                if index not in ctx.cfg.reachable:
+                    continue
+                block = ctx.cfg.blocks[index]
+                live_after = liveness.live_after(block)
+                for inst, live in zip(block.instructions, live_after):
+                    if inst.kind not in self._KINDS:
+                        continue
+                    if inst.rd is None or inst.rd == 0:
+                        continue  # x0 writes are L005's business
+                    if inst.rd in live:
+                        continue
+                    yield self.diag(
+                        f"{inst.op.value} writes "
+                        f"{Register.name(inst.rd)} but the value is "
+                        f"never read",
+                        addr=inst.addr, function=block.function,
+                        fix_hint="delete the instruction or use its "
+                                 "result")
+
+
+class ConstantUnreachableRule(LintRule):
+    """Blocks only reachable through statically-false branches.
+
+    L003 finds blocks with no inbound path at all; this rule finds the
+    semantic kind -- the path exists, but constant propagation proves
+    the branch guarding it always goes the other way.
+    """
+
+    rule_id = "L011"
+    name = "const-unreachable"
+    severity = Severity.WARNING
+    description = ("basic block can never execute: every path to it "
+                   "crosses a branch whose outcome is a constant")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for function in ctx.cfg.functions:
+            constants = ctx.constants(function)
+            dead = constants.structural - constants.executable
+            for index in sorted(dead):
+                if index not in ctx.cfg.reachable:
+                    continue  # structurally unreachable: L003's business
+                block = ctx.cfg.blocks[index]
+                detail = ""
+                for pred in block.predecessors:
+                    if pred in constants.verdicts:
+                        term = ctx.cfg.blocks[pred].terminator
+                        way = ("taken" if constants.verdicts[pred]
+                               else "fall-through")
+                        detail = (f"; {term.op.value} at "
+                                  f"{term.addr:#x} is always {way}")
+                        break
+                yield self.diag(
+                    f"block {block.start:#x}..{block.end:#x} can never "
+                    f"execute{detail}",
+                    addr=block.start, function=block.function,
+                    fix_hint="remove the dead code or fix the branch "
+                             "condition")
+
+
+class InvariantFlushRule(LintRule):
+    """Loop-invariant flush-inducing CSR accesses (semantic Section 6).
+
+    L001 flags *any* flush instruction in hot code; this rule proves
+    more: the instruction's operands cannot change between executions,
+    so it recomputes the same value while flushing the pipeline every
+    time -- exactly the Imagick ``frflags``/``fsflags`` shape.  Works
+    on multi-block loop bodies via reaching definitions, and on the
+    called-from-a-loop shape by treating the whole callee as the
+    repeated region (with entry values considered variant, since each
+    call may pass different registers).
+    """
+
+    rule_id = "L012"
+    name = "invariant-flush"
+    severity = Severity.WARNING
+    description = ("flush-inducing instruction is loop-invariant: it "
+                   "recomputes the same value every iteration")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for block in ctx.cfg.blocks:
+            if block.index not in ctx.cfg.reachable:
+                continue
+            for inst in block.instructions:
+                if not inst.flushes_on_commit or inst.kind is Kind.SRET:
+                    continue
+                context = ctx.cfg.hot_context(inst.addr)
+                if context is None:
+                    continue
+                how, header = context
+                function = block.function
+                if how == "loop":
+                    loop = ctx.loop_nest(function).innermost(block.index)
+                    if loop is None:
+                        continue
+                    region = frozenset(loop.body)
+                    entry_is_variant = False
+                    where = f"the loop at {header:#x}"
+                else:
+                    reaching = ctx.reaching(function)
+                    region = frozenset(reaching.states)
+                    entry_is_variant = True
+                    where = (f"every call of {function!r} from the "
+                             f"loop at {header:#x}")
+                invariant = ctx.invariants(function, region,
+                                           entry_is_variant)
+                if inst.addr not in invariant:
+                    continue
+                yield self.diag(
+                    f"{inst.op.value} is loop-invariant: it recomputes "
+                    f"the same value in {where} while flushing the "
+                    f"pipeline on every commit",
+                    addr=inst.addr, function=function,
+                    fix_hint=("hoist the access out of the loop, or "
+                              "replace the pair with `nop` if the "
+                              "FP-status result is unused (paper "
+                              "Section 6: 1.93x on Imagick)"))
+
+
+class NoTimeDrivenExitRule(LintRule):
+    """Loops whose exit conditions nothing inside the loop can change.
+
+    The event-driven fast path (``--sim fast``) advances time to the
+    next scheduled event; a loop that neither terminates (halt/return/
+    call) nor redefines any register its exit branches test will spin
+    without generating events -- the static shape behind fast-path
+    non-quiescence.
+    """
+
+    rule_id = "L013"
+    name = "no-time-driven-exit"
+    severity = Severity.WARNING
+    description = ("loop has no exit whose condition changes inside "
+                   "the loop body")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        merged: Dict[Tuple[str, int], Set[int]] = {}
+        for loop in ctx.cfg.loops:
+            key = (loop.function, loop.header)
+            merged.setdefault(key, set()).update(loop.body)
+        for (function, header_index), body in sorted(
+                merged.items(), key=lambda kv: kv[0][1]):
+            if header_index not in ctx.cfg.reachable:
+                continue
+            header = ctx.cfg.blocks[header_index].start
+            if not self._spins_forever(ctx, function, body):
+                continue
+            yield self.diag(
+                f"loop at {header:#x} has no time-driven exit: no exit "
+                f"condition is redefined inside the loop body",
+                addr=header, function=function,
+                fix_hint=("make an exit branch test state the loop "
+                          "updates; the event-driven fast path "
+                          "(`--sim fast`) cannot quiesce a loop with "
+                          "no pending events"))
+
+    @staticmethod
+    def _spins_forever(ctx: LintContext, function: str,
+                       body: Set[int]) -> bool:
+        reaching = ctx.reaching(function)
+        body_addrs = {inst.addr for index in body
+                      for inst in ctx.cfg.blocks[index].instructions}
+        for index in body:
+            block = ctx.cfg.blocks[index]
+            # Calls, halts, returns and fall-offs all hand control to
+            # code outside the loop: conservatively time-driven.
+            if block.call_targets or block.falls_off:
+                return False
+            term = block.terminator
+            if term.kind in (Kind.HALT, Kind.SRET, Kind.RETURN,
+                             Kind.CALL):
+                return False
+            exits = any(succ not in body for succ in block.successors)
+            if not exits:
+                continue
+            if not term.is_branch:
+                return False  # unconditional transfer out of the loop
+            env = None
+            for inst, value in reaching.at(block):
+                if inst is term:
+                    env = value
+            for reg in used_registers(term):
+                sites = (env or {}).get(reg, frozenset())
+                if sites & frozenset(body_addrs):
+                    return False  # the condition changes in the loop
+        return True
+
+
 #: The default rule line-up, in report order.
 DEFAULT_RULES: Tuple[LintRule, ...] = (
     FlushInLoopRule(),
@@ -313,6 +623,11 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     FunctionOverlapRule(),
     CallReturnMismatchRule(),
     ImplicitFallThroughRule(),
+    UninitializedReadRule(),
+    DeadStoreRule(),
+    ConstantUnreachableRule(),
+    InvariantFlushRule(),
+    NoTimeDrivenExitRule(),
 )
 
 #: Rule id -> rule instance.
@@ -320,3 +635,12 @@ RULES_BY_ID: Dict[str, LintRule] = {r.rule_id: r for r in DEFAULT_RULES}
 
 #: Structural rules every generated workload must pass (self-check set).
 STRUCTURAL_RULE_IDS: Tuple[str, ...] = ("L003", "L004", "L006")
+
+#: The dataflow-powered rule family (toggled by ``--no-dataflow``).
+DATAFLOW_RULE_IDS: Tuple[str, ...] = ("L009", "L010", "L011", "L012",
+                                      "L013")
+
+#: Rules the workload generators self-check against: the structural
+#: errors plus const-proven unreachable code (any diagnostic from this
+#: set fails the build, regardless of severity).
+SELF_CHECK_RULE_IDS: Tuple[str, ...] = STRUCTURAL_RULE_IDS + ("L011",)

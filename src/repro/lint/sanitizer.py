@@ -113,6 +113,25 @@ class TraceSanitizer(TraceObserver):
         self.cycles_checked += 1
         self.commits_checked += len(record.committed)
 
+    def on_stall_run(self, record: CycleRecord, count: int) -> None:
+        """Check a run of *count* identical stall cycles in O(1).
+
+        The batched engines (``--sim fast``, ``--engine block``)
+        deliver run-length-compressed stall regions here.  A pure
+        stall record (no commits, no exception) passes or fails every
+        invariant identically at each cycle of the run -- the only
+        cycle-dependent check, S001 monotonicity, holds inside the run
+        by construction -- so checking the first cycle covers all of
+        them.  Records that commit or fault take the per-cycle path.
+        """
+        if record.committed or record.exception is not None:
+            TraceObserver.on_stall_run(self, record, count)
+            return
+        self.on_cycle(record)
+        if count > 1:
+            self.cycles_checked += count - 1
+            self._last_cycle = record.cycle + count - 1
+
     def on_finish(self, final_cycle: int) -> None:
         self._finished = True
 

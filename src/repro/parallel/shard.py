@@ -31,8 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core.oracle import (OracleProfiler, OracleReport,
-                           merge_oracle_snapshots)
+from ..core.oracle import OracleProfiler, OracleReport
 from ..core.profiler import SamplingProfiler
 from ..core.sampling import SampleSchedule
 from ..cpu.tracefile import TraceIndex, TraceReaderV2, read_index
@@ -311,13 +310,13 @@ def replay_sharded(trace: TraceSource, spec: ProgramSpec,
             raise TraceInvariantError(snap["invariant_violation"])
 
     cycles = index.total_records
-    profilers, _oracle, sanitizer = _build_observers(
+    profilers, oracle, sanitizer = _build_observers(
         image, configs, (), sanitize)
     for name, profiler in profilers.items():
         profiler.restore_snapshots(
             [snap["profilers"][name] for snap in snapshots])
-    oracle_report = merge_oracle_snapshots(
-        [snap["oracle"] for snap in snapshots], cycles)
+    oracle.absorb([snap["oracle"] for snap in snapshots], cycles)
+    oracle_report = oracle.report
     if sanitizer is not None:
         sanitizer.absorb([snap["sanitizer"] for snap in snapshots])
     return ReplayOutcome(profilers, oracle_report, cycles, sanitizer,

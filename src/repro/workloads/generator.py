@@ -61,20 +61,22 @@ class Workload:
 
 
 def self_check_program(program: Program) -> None:
-    """Raise :class:`WorkloadLintError` if *program* fails the
-    structural lint rules (unreachable blocks, fall-through off text,
-    overlapping function symbols).
+    """Raise :class:`WorkloadLintError` if *program* fails the build
+    gate: the structural lint rules (unreachable blocks, fall-through
+    off text, overlapping function symbols) plus const-proven
+    unreachable code (L011) -- any diagnostic from that set fails the
+    build, regardless of severity.
 
     Generators call this on every program they emit, so a kernel-emitter
     bug shows up as a lint report at build time instead of a bogus
     profile after minutes of simulation.
     """
     from ..lint.linter import Linter
-    report = Linter.structural().run(program)
-    if not report.ok:
+    report = Linter.self_check().run(program)
+    if report.diagnostics:
         raise WorkloadLintError(
-            f"generated program {program.name!r} failed the structural "
-            f"lint self-check:\n{report.render()}")
+            f"generated program {program.name!r} failed the lint "
+            f"self-check:\n{report.render()}")
 
 
 def _ret(link: str = "x1") -> str:

@@ -128,8 +128,117 @@ def test_lint_json(capsys):
     assert main(["lint", "imagick-orig", "--json"]) == 0
     reports = json.loads(capsys.readouterr().out)
     assert reports[0]["program"] == "imagick-orig"
-    assert reports[0]["warnings"] == 4
-    assert {d["rule"] for d in reports[0]["diagnostics"]} == {"L001"}
+    # Each of the four CSR sites draws the syntactic L001 plus the
+    # semantic (dataflow-proven) L012.
+    assert reports[0]["warnings"] == 8
+    assert {d["rule"] for d in reports[0]["diagnostics"]} == \
+        {"L001", "L012"}
+
+
+HOT_LOOP = """
+.entry main
+.func main
+main:
+    addi x1, x0, 4
+loop:
+    frflags x7
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt
+"""
+
+
+def test_lint_strict_warnings_exit_1(tmp_path):
+    source = tmp_path / "hot.s"
+    source.write_text(HOT_LOOP)
+    assert main(["lint", str(source)]) == 0
+    assert main(["lint", str(source), "--strict"]) == 1
+
+
+def test_lint_no_dataflow_suppresses_semantic_rules(tmp_path, capsys):
+    source = tmp_path / "hot.s"
+    source.write_text(HOT_LOOP)
+    assert main(["lint", str(source), "--no-dataflow"]) == 0
+    out = capsys.readouterr().out
+    assert "warning[L001]" in out
+    assert "L012" not in out
+
+
+def test_lint_format_json_carries_locations(tmp_path, capsys):
+    import json
+    source = tmp_path / "hot.s"
+    source.write_text(HOT_LOOP)
+    assert main(["lint", str(source), "--format", "json"]) == 0
+    reports = json.loads(capsys.readouterr().out)
+    diags = reports[0]["diagnostics"]
+    assert {d["rule"] for d in diags} == {"L001", "L012"}
+    for diag in diags:
+        assert diag["path"] == str(source)
+        assert diag["line"] == 7  # the frflags line
+        assert diag["addr"] == "0x10004"
+        assert "fix_hint" in diag
+
+
+def test_lint_assembler_error_exits_2(tmp_path, capsys):
+    source = tmp_path / "broken.s"
+    source.write_text("main:\n    frobnicate x1\n")
+    assert main(["lint", str(source)]) == 2
+    assert "cannot lint" in capsys.readouterr().err
+
+
+def test_lint_observers_shipped_tree_is_clean(capsys):
+    import repro
+    import os
+    tree = os.path.dirname(repro.__file__)
+    assert main(["lint", "--observers", tree, "--strict"]) == 0
+    assert "observer class(es)" in capsys.readouterr().out
+
+
+def test_lint_observers_seeded_violation_exits_1(tmp_path, capsys):
+    seeded = tmp_path / "seeded.py"
+    seeded.write_text("""
+class HalfBlockNative(TraceObserver):
+    def on_block(self, start, instructions, cycles):
+        self.cycles = cycles
+""")
+    assert main(["lint", "--observers", str(seeded)]) == 1
+    assert "C002" in capsys.readouterr().out
+
+
+def test_lint_observers_strict_promotes_warnings(tmp_path):
+    seeded = tmp_path / "seeded.py"
+    seeded.write_text("""
+class Registered(TraceObserver):
+    def on_block(self, start, instructions, cycles):
+        self.cycles = cycles
+
+    def on_cycle(self, record):
+        self.cycle = record.cycle
+""")
+    # on_cycle is concrete, so C002 is only a warning here.
+    assert main(["lint", "--observers", str(seeded)]) == 0
+    assert main(["lint", "--observers", str(seeded), "--strict"]) == 1
+
+
+def test_lint_observers_json(tmp_path, capsys):
+    import json
+    seeded = tmp_path / "seeded.py"
+    seeded.write_text("""
+class HalfBlockNative(TraceObserver):
+    def on_block(self, start, instructions, cycles):
+        self.cycles = cycles
+""")
+    assert main(["lint", "--observers", str(seeded),
+                 "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["errors"] == 1
+    assert data["diagnostics"][0]["rule"] == "C002"
+    assert data["diagnostics"][0]["path"] == str(seeded)
+
+
+def test_lint_observers_bad_target_exits_2(capsys):
+    assert main(["lint", "--observers", "no/such/dir"]) == 2
+    assert "cannot lint" in capsys.readouterr().err
 
 
 def test_profile_sanitize(tmp_path, capsys):

@@ -1,0 +1,565 @@
+"""The dataflow engine and the rules built on it (L009-L013).
+
+Three layers of coverage:
+
+* property tests (hypothesis) -- the worklist solver reaches a
+  consistent fixpoint on randomly generated CFGs, and on straight-line
+  code liveness and reaching definitions agree with a brute-force
+  reference;
+* golden diagnostics for every program under ``examples/asm`` (with a
+  completeness check so new examples must register here);
+* trigger/near-miss unit tests per rule, plus the paper's Imagick
+  case study for the semantic flush rule (L012).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Kind
+from repro.lint import (ENTRY_DEF, DefiniteAssignment, DominatorTree,
+                        Linter, Liveness, LoopNest,
+                        ReachingDefinitions, Severity, build_cfg,
+                        lint_program)
+from repro.lint.dataflow import (defined_registers, solve,
+                                 used_registers)
+from repro.workloads.imagick import build_imagick
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "examples", "asm")
+
+
+def _lint(source):
+    return lint_program(assemble(source, name="dataflow-test"))
+
+
+def _cfg(source):
+    return build_cfg(assemble(source, name="dataflow-test"))
+
+
+# -- random-CFG fixpoint properties -------------------------------------------
+
+
+@st.composite
+def branchy_program(draw):
+    """A random multi-block program: ALU noise plus random branches.
+
+    Every block ends with a conditional branch to a random label, so
+    the CFG contains forward edges, back edges (loops) and possibly
+    unreachable blocks -- the shapes the solver must terminate on.
+    """
+    n_blocks = draw(st.integers(2, 6))
+    lines = [".entry main", ".func main", "main:"]
+    for index in range(n_blocks):
+        lines.append(f"L{index}:")
+        for _ in range(draw(st.integers(1, 3))):
+            rd = draw(st.integers(1, 6))
+            rs1 = draw(st.integers(0, 6))
+            rs2 = draw(st.integers(0, 6))
+            if draw(st.booleans()):
+                lines.append(f"    add x{rd}, x{rs1}, x{rs2}")
+            else:
+                imm = draw(st.integers(-8, 8))
+                lines.append(f"    addi x{rd}, x{rs1}, {imm}")
+        target = draw(st.integers(0, n_blocks - 1))
+        cond = draw(st.integers(0, 6))
+        lines.append(f"    bne x{cond}, x0, L{target}")
+    lines.append("    halt")
+    return "\n".join(lines)
+
+
+@given(source=branchy_program())
+@settings(max_examples=60, deadline=None)
+def test_solver_fixpoint_is_consistent(source):
+    """At the fixpoint every forward block entry equals the meet of
+    its predecessors' exits, and exit equals transfer(entry)."""
+    cfg = _cfg(source)
+    analysis = ReachingDefinitions(cfg, "main")
+    states = analysis.states
+    for index, state in states.items():
+        block = cfg.blocks[index]
+        assert state.exit == analysis.transfer(block, state.entry)
+        value = analysis.init()
+        for pred in block.predecessors:
+            if pred in states:
+                value = analysis.meet(value, states[pred].exit)
+        if block.start == cfg.program.entry:
+            value = analysis.meet(value, analysis.boundary())
+        assert state.entry == value
+
+
+@given(source=branchy_program())
+@settings(max_examples=60, deadline=None)
+def test_solver_is_deterministic(source):
+    cfg = _cfg(source)
+    first = solve(ReachingDefinitions(cfg, "main"), cfg, "main")
+    second = solve(ReachingDefinitions(cfg, "main"), cfg, "main")
+    assert set(first) == set(second)
+    for index in first:
+        assert first[index].entry == second[index].entry
+        assert first[index].exit == second[index].exit
+
+
+@given(source=branchy_program())
+@settings(max_examples=60, deadline=None)
+def test_definite_assignment_is_a_must_subset(source):
+    """Must-assigned registers always have a non-entry reaching def:
+    the must analysis is a refinement of the may analysis."""
+    cfg = _cfg(source)
+    reaching = ReachingDefinitions(cfg, "main")
+    assignment = DefiniteAssignment(cfg, "main")
+    for index, state in assignment.states.items():
+        env = reaching.states[index].entry
+        for reg in state.entry:
+            sites = env.get(reg, frozenset())
+            assert sites and sites != frozenset([ENTRY_DEF])
+
+
+@st.composite
+def straightline_program(draw):
+    n = draw(st.integers(1, 10))
+    lines = [".entry main", ".func main", "main:"]
+    for _ in range(n):
+        rd = draw(st.integers(1, 5))
+        rs1 = draw(st.integers(0, 5))
+        imm = draw(st.integers(-8, 8))
+        lines.append(f"    addi x{rd}, x{rs1}, {imm}")
+    lines.append("    halt")
+    return "\n".join(lines)
+
+
+@given(source=straightline_program())
+@settings(max_examples=80, deadline=None)
+def test_straightline_agreement_with_bruteforce(source):
+    """On straight-line code both analyses reduce to a scan: the
+    reaching def of a use is the latest earlier def (or the entry),
+    and a def is live-after iff read again before any redefinition.
+    ``halt`` ends the program, so nothing is live at the end."""
+    cfg = _cfg(source)
+    block = cfg.blocks[0]
+    insts = [i for i in block.instructions if i.kind is not Kind.HALT]
+    reaching = ReachingDefinitions(cfg, "main")
+    liveness = Liveness(cfg, "main")
+
+    envs = dict(reaching.at(block))
+    last_def = {}
+    for inst in insts:
+        for reg in used_registers(inst):
+            expected = ({last_def[reg]} if reg in last_def
+                        else {ENTRY_DEF})
+            assert envs[inst].get(reg, frozenset()) == expected
+        for reg in defined_registers(inst):
+            last_def[reg] = inst.addr
+
+    live_after = dict(zip(block.instructions,
+                          liveness.live_after(block)))
+    for pos, inst in enumerate(insts):
+        for reg in defined_registers(inst):
+            alive = False
+            for later in insts[pos + 1:]:
+                if reg in used_registers(later):
+                    alive = True
+                    break
+                if reg in defined_registers(later):
+                    break
+            assert (reg in live_after[inst]) == alive
+
+
+# -- golden diagnostics for every shipped example -----------------------------
+
+#: file name -> exact multiset of rule hits, as a sorted tuple.
+EXAMPLE_GOLDENS = {
+    "const_dead_branch.s": ("L011",),
+    "csr_hotloop.s": ("L001", "L001", "L012", "L012"),
+    "dead_store.s": ("L010",),
+    "loop_invariant_csr.s": ("L001", "L012"),
+    "spin_wait.s": ("L013",),
+    "streaming_clean.s": (),
+    "uninit_read.s": ("L009",),
+}
+
+
+def test_example_goldens_are_complete():
+    on_disk = {name for name in os.listdir(EXAMPLES)
+               if name.endswith(".s")}
+    assert on_disk == set(EXAMPLE_GOLDENS)
+
+
+@pytest.mark.parametrize("name,expected",
+                         sorted(EXAMPLE_GOLDENS.items()))
+def test_example_golden(name, expected):
+    path = os.path.join(EXAMPLES, name)
+    with open(path) as handle:
+        program = assemble(handle.read(), name=name)
+    report = lint_program(program, path=path)
+    assert tuple(sorted(d.rule for d in report.diagnostics)) == expected
+    assert report.errors == []
+    for diag in report.diagnostics:
+        assert diag.path == path
+        assert diag.line is not None and diag.line > 0
+
+
+# -- L009 uninitialized read --------------------------------------------------
+
+
+def test_l009_trigger_reports_first_read():
+    report = _lint("""
+.entry main
+.func main
+main:
+    add  x3, x5, x5
+    beq  x3, x0, done
+    nop
+done:
+    halt
+""")
+    hits = report.by_rule("L009")
+    assert len(hits) == 1
+    assert hits[0].severity is Severity.WARNING
+    assert "x5" in hits[0].message
+
+
+def test_l009_near_miss_initialized_on_every_path():
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x5, x0, 4
+    add  x3, x5, x5
+    halt
+""")
+    assert report.by_rule("L009") == []
+
+
+def test_l009_one_path_uninitialized_still_fires():
+    report = _lint("""
+.entry main
+.func main
+main:
+    beq  x1, x0, merge
+    addi x5, x0, 4
+merge:
+    add  x3, x5, x5
+    halt
+""")
+    assert len(report.by_rule("L009")) == 2  # x1 at beq, x5 at add
+
+
+def test_l009_silent_outside_entry_function():
+    """Non-entry functions receive arguments; reads of unwritten
+    registers there are calling convention, not bugs."""
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x5, x0, 4
+    jal  x1, helper
+    halt
+
+.func helper
+helper:
+    add  x3, x5, x5
+    jalr x0, x1, 0
+""")
+    assert report.by_rule("L009") == []
+
+
+# -- L010 dead store ----------------------------------------------------------
+
+
+def test_l010_trigger_never_read_before_halt():
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x2, x0, 7
+    halt
+""")
+    hits = report.by_rule("L010")
+    assert len(hits) == 1
+    assert "x2" in hits[0].message
+
+
+def test_l010_trigger_overwritten_before_read():
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x2, x0, 7
+    addi x2, x0, 9
+    sw   x2, 0x400(x0)
+    halt
+""")
+    assert len(report.by_rule("L010")) == 1
+
+
+def test_l010_near_miss_value_reaches_a_return():
+    """Returns are conservative: the caller may read anything."""
+    report = _lint("""
+.entry main
+.func main
+main:
+    jal  x1, helper
+    halt
+
+.func helper
+helper:
+    addi x2, x0, 7
+    jalr x0, x1, 0
+""")
+    assert report.by_rule("L010") == []
+
+
+def test_l010_near_miss_read_on_one_path():
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x2, x0, 7
+    beq  x1, x0, done
+    sw   x2, 0x400(x0)
+done:
+    halt
+""")
+    assert report.by_rule("L010") == []
+
+
+# -- L011 const-proven unreachable --------------------------------------------
+
+
+def test_l011_trigger_always_taken_branch():
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x1, x0, 0
+    beq  x1, x0, fast
+    addi x2, x0, 1
+    sw   x2, 0x400(x0)
+fast:
+    halt
+""")
+    hits = report.by_rule("L011")
+    assert len(hits) == 1
+    assert "never execute" in hits[0].message
+
+
+def test_l011_near_miss_unknown_condition():
+    report = _lint("""
+.entry main
+.func main
+main:
+    lw   x1, 0x400(x0)
+    beq  x1, x0, fast
+    addi x2, x0, 1
+    sw   x2, 0x400(x0)
+fast:
+    halt
+""")
+    assert report.by_rule("L011") == []
+
+
+def test_l011_loop_join_loses_constness():
+    """The loop counter is constant on entry but varies across the
+    back edge; the meet must not prove the exit dead."""
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x1, x0, 3
+loop:
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt
+""")
+    assert report.by_rule("L011") == []
+
+
+# -- L012 loop-invariant flush ------------------------------------------------
+
+
+def test_l012_trigger_direct_loop():
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x1, x0, 8
+loop:
+    frflags x7
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt
+""")
+    hits = report.by_rule("L012")
+    assert len(hits) == 1
+    assert "loop-invariant" in hits[0].message
+    assert "hoist" in hits[0].fix_hint
+
+
+def test_l012_trigger_multi_block_loop_body():
+    with open(os.path.join(EXAMPLES, "loop_invariant_csr.s")) as handle:
+        report = _lint(handle.read())
+    hits = report.by_rule("L012")
+    assert len(hits) == 1
+    assert "hoist" in hits[0].fix_hint
+
+
+def test_l012_flags_the_whole_invariant_pair():
+    """A CSR write fed (through an in-loop chain) only by an in-loop
+    CSR read is itself invariant -- the imagick pattern: both halves
+    of the frflags/fsflags bracket are flagged."""
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x1, x0, 8
+loop:
+    frflags x7
+    andi x7, x7, 1
+    fsflags x7
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt
+""")
+    assert {d.addr for d in report.by_rule("L012")} \
+        == {0x10004, 0x1000c}
+
+
+def test_l012_near_miss_variant_csr_write():
+    """A CSR write whose operand depends on the loop counter is
+    variant: hoisting it would change the architectural state."""
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x1, x0, 8
+loop:
+    andi x7, x1, 1
+    fsflags x7
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt
+""")
+    assert report.by_rule("L012") == []
+    assert len(report.by_rule("L001")) == 1  # still syntactically hot
+
+
+def test_l012_imagick_golden():
+    """Section 6, semantically: the frflags/fsflags pair in ceil and
+    floor is invariant in every call from the morphology loop."""
+    report = lint_program(build_imagick().program)
+    hits = report.by_rule("L012")
+    assert {d.addr for d in hits} == {0x10050, 0x10074, 0x1007c,
+                                      0x100a0}
+    assert {d.function for d in hits} == {"ceil", "floor"}
+    assert all("hoist" in d.fix_hint for d in hits)
+
+
+def test_l012_imagick_optimized_is_clean():
+    report = lint_program(build_imagick(optimized=True).program)
+    assert report.by_rule("L012") == []
+    assert report.diagnostics == []
+
+
+# -- L013 no time-driven exit -------------------------------------------------
+
+
+def test_l013_trigger_condition_defined_outside_loop():
+    with open(os.path.join(EXAMPLES, "spin_wait.s")) as handle:
+        report = _lint(handle.read())
+    hits = report.by_rule("L013")
+    assert len(hits) == 1
+    assert "fast" in hits[0].fix_hint
+
+
+def test_l013_near_miss_counter_updated_in_body():
+    report = _lint("""
+.entry main
+.func main
+main:
+    addi x1, x0, 8
+loop:
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt
+""")
+    assert report.by_rule("L013") == []
+
+
+def test_l013_near_miss_loop_body_calls_out():
+    """A call hands control to code that can generate events."""
+    report = _lint("""
+.entry main
+.func main
+main:
+    lw   x5, 0x400(x0)
+wait:
+    jal  x1, helper
+    bne  x5, x0, wait
+    halt
+
+.func helper
+helper:
+    addi x6, x6, 1
+    jalr x0, x1, 0
+""")
+    assert report.by_rule("L013") == []
+
+
+# -- dominators and loop nesting ----------------------------------------------
+
+NESTED_LOOPS = """
+.entry main
+.func main
+main:
+    addi x1, x0, 4
+outer:
+    addi x2, x0, 4
+inner:
+    addi x2, x2, -1
+    bne  x2, x0, inner
+    addi x1, x1, -1
+    bne  x1, x0, outer
+    halt
+"""
+
+
+def test_dominator_tree_on_nested_loops():
+    cfg = _cfg(NESTED_LOOPS)
+    tree = DominatorTree(cfg, "main")
+    root = cfg.functions["main"][0]
+    for index in cfg.functions["main"]:
+        assert tree.dominates(root, index)
+    inner = cfg.block_index_of(0x10008)
+    exit_block = cfg.block_index_of(0x10014)
+    assert tree.dominates(inner, exit_block)
+    assert not tree.dominates(exit_block, inner)
+
+
+def test_loop_nest_depths():
+    cfg = _cfg(NESTED_LOOPS)
+    nest = LoopNest(cfg, "main")
+    assert len(nest.loops) == 2
+    by_size = sorted(range(len(nest.loops)),
+                     key=lambda i: len(nest.loops[i].body))
+    inner_i, outer_i = by_size[0], by_size[-1]
+    assert nest.depth(inner_i) == 2
+    assert nest.depth(outer_i) == 1
+    assert nest.parent[inner_i] == outer_i
+    inner_block = cfg.block_index_of(0x10008)
+    assert nest.innermost(inner_block) is nest.loops[inner_i]
+
+
+# -- the --no-dataflow escape hatch -------------------------------------------
+
+
+def test_linter_dataflow_toggle():
+    with open(os.path.join(EXAMPLES, "csr_hotloop.s")) as handle:
+        source = handle.read()
+    program = assemble(source, name="csr_hotloop")
+    full = Linter().run(program)
+    syntactic = Linter(dataflow=False).run(program)
+    assert {d.rule for d in full.diagnostics} == {"L001", "L012"}
+    assert {d.rule for d in syntactic.diagnostics} == {"L001"}

@@ -1,0 +1,125 @@
+"""``on_stall_run`` batching is observationally equivalent to
+stepping the same stall run cycle by cycle.
+
+This is the dynamic counterpart of contract rule C002: every shipped
+profiler and the trace sanitizer must produce identical results
+whether the block engine hands them a run-length-compressed stall or
+the per-cycle loop replays it.
+"""
+
+import pytest
+
+from conftest import make_record
+from repro.core.baselines import (DispatchProfiler, LciProfiler,
+                                  NciIlpProfiler, NciProfiler,
+                                  SoftwareProfiler)
+from repro.core.sampling import SampleSchedule
+from repro.core.tip import TipIlpProfiler, TipProfiler
+from repro.cpu.trace import shifted_record
+from repro.isa.assembler import assemble
+from repro.lint import TraceSanitizer
+
+PROGRAM = assemble("""
+.entry main
+.func main
+main:
+    addi x1, x0, 1
+    addi x2, x1, 2
+    add  x3, x1, x2
+    add  x4, x3, x1
+    halt
+""", name="stall-batch")
+
+#: Two committing cycles, a pure-stall run, then the rest commits.
+PREFIX = [make_record(0, committed=[(0x10000, False, False)]),
+          make_record(1, committed=[(0x10004, False, False)])]
+STALL = make_record(2, rob_head=0x10008)
+SUFFIX_AT = {0x10008: 0, 0x1000c: 1, 0x10010: 2}
+
+
+def _suffix(start):
+    return [make_record(start + pos, committed=[(addr, False, False)])
+            for addr, pos in sorted(SUFFIX_AT.items())]
+
+
+def _feed(observer, run, batched):
+    for record in PREFIX:
+        observer.on_cycle(record)
+    if batched:
+        observer.on_stall_run(STALL, run)
+    else:
+        for i in range(run):
+            observer.on_cycle(shifted_record(STALL, i))
+    final = 0
+    for record in _suffix(STALL.cycle + run):
+        observer.on_cycle(record)
+        final = record.cycle
+    observer.on_finish(final)
+    return observer
+
+
+def _signature(profiler):
+    return [(s.cycle, s.interval, s.weights, s.category)
+            for s in profiler.samples]
+
+
+PROFILERS = {
+    "software": lambda: SoftwareProfiler(SampleSchedule(7)),
+    "software-skid": lambda: SoftwareProfiler(SampleSchedule(7),
+                                              skid_cycles=5),
+    "dispatch": lambda: DispatchProfiler(SampleSchedule(7)),
+    "lci": lambda: LciProfiler(SampleSchedule(7)),
+    "nci": lambda: NciProfiler(SampleSchedule(7)),
+    "nci-ilp": lambda: NciIlpProfiler(SampleSchedule(7)),
+    "tip": lambda: TipProfiler(SampleSchedule(7), PROGRAM),
+    "tip-ilp": lambda: TipIlpProfiler(SampleSchedule(7), PROGRAM),
+}
+
+#: Run lengths: shorter than a period, spanning one sample, spanning
+#: several (the skid delivery lands mid-run in the long case).
+RUNS = (1, 5, 21)
+
+
+@pytest.mark.parametrize("name", sorted(PROFILERS))
+@pytest.mark.parametrize("run", RUNS)
+def test_profiler_stall_run_equivalence(name, run):
+    build = PROFILERS[name]
+    stepped = _feed(build(), run, batched=False)
+    batched = _feed(build(), run, batched=True)
+    assert _signature(batched) == _signature(stepped)
+
+
+@pytest.mark.parametrize("run", RUNS)
+def test_sanitizer_stall_run_equivalence(run):
+    stepped = _feed(TraceSanitizer(program=PROGRAM, fail_fast=False),
+                    run, batched=False)
+    batched = _feed(TraceSanitizer(program=PROGRAM, fail_fast=False),
+                    run, batched=True)
+    assert stepped.violations == []
+    assert batched.violations == []
+    assert batched.cycles_checked == stepped.cycles_checked
+
+
+def test_sanitizer_batched_stall_advances_cursor():
+    """The compressed run must move the monotonicity cursor to its
+    last cycle: a gap right after the run is still caught (S001)."""
+    sanitizer = TraceSanitizer(fail_fast=False)
+    sanitizer.on_cycle(make_record(0))
+    sanitizer.on_stall_run(make_record(1, rob_head=0x10008), 5)
+    sanitizer.on_cycle(make_record(8, rob_head=0x10008))  # 6-7 missing
+    assert [d.rule for d in sanitizer.violations] == ["S001"]
+    assert sanitizer.violations[0].cycle == 8
+
+
+def test_sanitizer_batched_commit_record_falls_back():
+    """A run whose record commits is not a pure stall: the default
+    per-cycle fallback must check every replayed cycle, so a
+    commit-width violation is reported once per cycle of the run."""
+    sanitizer = TraceSanitizer(program=PROGRAM, fail_fast=False,
+                               commit_width=1)
+    record = make_record(0, committed=[(0x10000, False, False),
+                                       (0x10004, False, False)])
+    sanitizer.on_stall_run(record, 3)
+    rules = [d.rule for d in sanitizer.violations]
+    assert rules.count("S002") == 3
+    assert sanitizer.cycles_checked == 3
