@@ -1,0 +1,27 @@
+# A loop-invariant FP status read whose value is *really used*: every
+# iteration stores the saved flags to memory, so the save/restore pair
+# removal (repro optimize's first choice) does not apply -- the value
+# flows to a store, not to an fsflags restore.  The hoist does: the
+# dataflow engine proves the frflags loop-invariant, the loop body
+# writes neither fflags nor x7, and the defining block dominates the
+# loop exit, so the optimizer synthesizes a preheader and moves the
+# read there.  One flush per loop entry instead of one per iteration.
+#
+#   $ python -m repro lint examples/asm/hoistable_flush.s
+#   $ python -m repro optimize examples/asm/hoistable_flush.s
+#
+# lint reports warning[L001] and warning[L012] at the `frflags`;
+# optimize applies hoist-invariant-flush [L012].
+
+.entry main
+.func main
+main:
+    addi x1, x0, 8          # loop counter
+    addi x2, x0, 4096       # output cursor
+loop:
+    frflags x7              # L001 + L012: invariant, but value is used
+    sw   x7, 0(x2)          # ... so the pair removal cannot apply
+    addi x2, x2, 8
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt

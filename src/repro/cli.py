@@ -36,6 +36,12 @@ Commands
     (``~/.cache/repro`` or ``--cache-dir``/``$REPRO_CACHE_DIR``).
 ``lint TARGET...``
     Statically lint assembly files, directories or benchmark names.
+``optimize TARGET``
+    Apply dataflow-proven rewrites suggested by the linter (flush-pair
+    removal, invariant-flush hoisting, dead-store deletion,
+    const-unreachable pruning), verify the transformed program against
+    the reference interpreter, and measure the speedup on the
+    out-of-order core.
 
 ``profile``, ``suite``, ``record`` and ``replay`` accept ``--sanitize``
 to validate the commit-stage trace against the commit invariants while
@@ -420,7 +426,8 @@ def cmd_lint(args) -> int:
         return 2
     linter = Linter(dataflow=args.dataflow)
     reports = [linter.run(program,
-                          path=label if os.path.isfile(label) else None)
+                          path=label if os.path.isfile(label) else None,
+                          honor_ignores=not args.no_ignores)
                for label, program in programs]
     if fmt == "json":
         print(json.dumps([report.to_dict() for report in reports],
@@ -453,6 +460,87 @@ def _lint_observers(args, fmt: str) -> int:
     if args.strict and report.diagnostics:
         return 1
     return 0
+
+
+def _optimize_target(target: str, scale: float):
+    """Resolve an optimize target to (label, Program, premapped)."""
+    if os.path.isfile(target):
+        with open(target) as handle:
+            return target, assemble(handle.read(), name=target), []
+    if target in ("imagick-orig", "imagick-opt"):
+        workload = build_imagick(optimized=target.endswith("-opt"))
+        return target, workload.program, workload.premapped
+    if target in BENCHMARKS:
+        workload, = build_suite([target], scale=scale)
+        return target, workload.program, workload.premapped
+    return None
+
+
+def cmd_optimize(args) -> int:
+    """Exit codes: 0 optimized and verified, 1 a check failed,
+    2 usage/internal error."""
+    from .isa import disassemble
+    from .isa.assembler import AssemblerError
+    from .opt import (diff_architectural, measure_speedup,
+                      optimize_program)
+    try:
+        resolved = _optimize_target(args.target, args.scale)
+    except (AssemblerError, OSError) as exc:
+        print(f"cannot optimize: {exc}", file=sys.stderr)
+        return 2
+    if resolved is None:
+        print(f"cannot optimize: unknown target {args.target!r}",
+              file=sys.stderr)
+        return 2
+    label, program, premapped = resolved
+
+    result = optimize_program(program, max_passes=args.max_passes,
+                              honor_ignores=not args.no_ignores)
+    report = {"target": label, "optimization": result.to_dict()}
+    failed = False
+
+    differential = diff_architectural(program, result.program,
+                                      trials=args.trials)
+    report["differential"] = differential.to_dict()
+    if not differential.identical:
+        failed = True
+
+    speedup = None
+    if not args.no_measure and result.changed \
+            and differential.identical:
+        speedup = measure_speedup(program, result.program,
+                                  premapped_data=premapped or None,
+                                  sim=args.sim,
+                                  cache=_cache_arg(args))
+        report["speedup"] = speedup.to_dict()
+        if args.min_speedup is not None \
+                and speedup.speedup < args.min_speedup:
+            failed = True
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(disassemble(result.program))
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(result.render())
+        print(differential.render())
+        if speedup is not None:
+            print(speedup.render())
+        if args.min_speedup is not None and speedup is not None \
+                and speedup.speedup < args.min_speedup:
+            print(f"FAILED: speedup {speedup.speedup:.2f}x below "
+                  f"required {args.min_speedup:.2f}x")
+        if args.output:
+            print(f"wrote optimized assembly to {args.output}")
+        if args.report:
+            print(f"wrote report to {args.report}")
+    return 1 if failed else 0
 
 
 def cmd_overhead(_args) -> int:
@@ -629,7 +717,53 @@ def build_parser() -> argparse.ArgumentParser:
                            "Python sources")
     lint.add_argument("--strict", action="store_true",
                       help="exit 1 on any diagnostic, not only errors")
+    lint.add_argument("--no-ignores", action="store_true",
+                      help="report diagnostics even at addresses "
+                           "carrying a '# lint: ignore[...]' pragma")
     lint.set_defaults(func=cmd_lint)
+
+    optimize = sub.add_parser(
+        "optimize", help="apply dataflow-proven rewrites",
+        description="Optimize an assembly file, a suite benchmark or "
+                    "imagick-orig: lint, prove each structured fix "
+                    "hint from dataflow facts, rewrite, then verify "
+                    "the result differentially on the reference "
+                    "interpreter and measure the speedup on the "
+                    "out-of-order core. Exit status: 0 verified, 1 a "
+                    "check failed, 2 usage/internal error.")
+    optimize.add_argument("target",
+                          help="an .s file, a suite benchmark name, "
+                               "or imagick-orig")
+    optimize.add_argument("-o", "--output", default=None,
+                          help="write the optimized program as "
+                               "assembly to this file")
+    optimize.add_argument("--report", default=None,
+                          help="write the full JSON report (rewrites, "
+                               "certificates, differential, speedup) "
+                               "to this file")
+    optimize.add_argument("--json", action="store_true",
+                          help="print the JSON report to stdout")
+    optimize.add_argument("--trials", type=int, default=4,
+                          help="differential trials incl. the "
+                               "as-built image (default 4)")
+    optimize.add_argument("--min-speedup", type=float, default=None,
+                          help="fail (exit 1) unless the measured "
+                               "speedup reaches this factor")
+    optimize.add_argument("--no-measure", action="store_true",
+                          help="skip the core simulation; only "
+                               "rewrite and run the differential")
+    optimize.add_argument("--no-ignores", action="store_true",
+                          help="optimize findings even at addresses "
+                               "carrying a '# lint: ignore[...]' "
+                               "pragma")
+    optimize.add_argument("--max-passes", type=int, default=8,
+                          help="rewrite-pass budget (default 8)")
+    optimize.add_argument("--scale", type=float, default=0.1,
+                          help="suite benchmark scale factor "
+                               "(default 0.1)")
+    _add_sim(optimize)
+    _add_cache(optimize)
+    optimize.set_defaults(func=cmd_optimize)
     return parser
 
 

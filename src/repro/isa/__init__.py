@@ -7,6 +7,7 @@ from .interpreter import Interpreter, InterpreterError, run_reference
 from .opcodes import Kind, Op, OpcodeInfo, Unit, info_for
 from .program import (FunctionSymbol, KERNEL_TEXT_BASE, Program,
                       ProgramBuilder, TEXT_BASE)
+from .rewrite import ProgramEditor, RewriteError
 from .semantics import ExecResult, evaluate
 
 __all__ = [
@@ -17,5 +18,6 @@ __all__ = [
     "Kind", "Op", "OpcodeInfo", "Unit", "info_for",
     "FunctionSymbol", "KERNEL_TEXT_BASE", "Program", "ProgramBuilder",
     "TEXT_BASE",
+    "ProgramEditor", "RewriteError",
     "ExecResult", "evaluate",
 ]

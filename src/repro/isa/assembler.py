@@ -17,11 +17,17 @@ The assembly dialect mirrors RISC-V conventions::
 Directives: ``.func NAME`` opens a function symbol, ``.entry LABEL`` sets
 the entry point, ``.data ADDR VALUE`` initialises a data word.  Labels end
 with ``:``.  Comments start with ``#`` or ``;``.
+
+A comment of the form ``# lint: ignore[L001]`` (or ``# lint: ignore``
+for every rule; several ids may be comma-separated) suppresses lint
+diagnostics for the instructions assembled from that line.  The linter
+honours the pragma unless run with ``--no-ignores``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import re
+from typing import FrozenSet, List, Optional, Tuple
 
 from .instruction import Register
 from .opcodes import Kind, MNEMONICS, Op, info_for
@@ -43,6 +49,28 @@ def _strip_comment(line: str) -> str:
         if pos >= 0:
             line = line[:pos]
     return line.strip()
+
+
+#: ``# lint: ignore`` / ``# lint: ignore[L001, L012]`` in a comment.
+_IGNORE_PRAGMA = re.compile(
+    r"[#;]\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+def _lint_ignores(raw: str) -> Optional[FrozenSet[str]]:
+    """Suppressed rule ids from a raw source line, or ``None``.
+
+    A bare ``ignore`` (or an empty bracket list) suppresses every rule,
+    encoded as the ``"*"`` wildcard.
+    """
+    match = _IGNORE_PRAGMA.search(raw)
+    if match is None:
+        return None
+    listed = match.group(1)
+    if listed is None:
+        return frozenset({"*"})
+    rules = frozenset(part.strip() for part in listed.split(",")
+                      if part.strip())
+    return rules or frozenset({"*"})
 
 
 def _parse_int(text: str) -> int:
@@ -77,6 +105,7 @@ class Assembler:
             if not line:
                 continue
             builder.set_line(line_no)
+            builder.set_ignores(_lint_ignores(raw))
             try:
                 self._assemble_line(builder, line)
             except AssemblerError:

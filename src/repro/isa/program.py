@@ -10,7 +10,7 @@ synthetic workload generators.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from .instruction import INSTRUCTION_BYTES, Instruction
 from .opcodes import Op, info_for
@@ -41,7 +41,8 @@ class Program:
                  labels: Optional[Dict[str, int]] = None,
                  data: Optional[Dict[int, float]] = None,
                  name: str = "program",
-                 lines: Optional[Dict[int, int]] = None):
+                 lines: Optional[Dict[int, int]] = None,
+                 ignores: Optional[Dict[int, FrozenSet[str]]] = None):
         if not instructions:
             raise ValueError("a program needs at least one instruction")
         self.name = name
@@ -54,6 +55,10 @@ class Program:
         #: Source line numbers (instruction address -> 1-based line),
         #: populated by the assembler; empty for generated programs.
         self.lines = dict(lines or {})
+        #: Per-instruction lint suppressions (``# lint: ignore[RULE]``
+        #: pragmas): instruction address -> rule ids, with ``"*"``
+        #: meaning every rule.
+        self.ignores = dict(ignores or {})
         self._by_addr: Dict[int, Instruction] = {
             inst.addr: inst for inst in instructions
         }
@@ -107,7 +112,8 @@ class Program:
         return Program(self.instructions + other.instructions,
                        self.functions + other.functions, self.entry,
                        {**self.labels, **other.labels}, data, self.name,
-                       {**self.lines, **other.lines})
+                       {**self.lines, **other.lines},
+                       {**self.ignores, **other.ignores})
 
     def __repr__(self) -> str:
         return (f"<Program {self.name!r}: {len(self.instructions)} insts, "
@@ -138,6 +144,8 @@ class ProgramBuilder:
         self._entry_label: Optional[str] = None
         self._lines: Dict[int, int] = {}
         self._line: Optional[int] = None
+        self._ignores: Dict[int, FrozenSet[str]] = {}
+        self._ignore: Optional[FrozenSet[str]] = None
 
     # -- construction --------------------------------------------------------
 
@@ -179,6 +187,13 @@ class ProgramBuilder:
         self._line = line_no
         return self
 
+    def set_ignores(self,
+                    rules: Optional[FrozenSet[str]]) -> "ProgramBuilder":
+        """Tag subsequently emitted instructions with lint suppressions
+        (rule ids; ``"*"`` suppresses every rule).  ``None`` clears."""
+        self._ignore = rules
+        return self
+
     def emit(self, op: Op, rd: Optional[int] = None,
              sources: tuple = (), imm: int = 0,
              target: Optional[str] = None) -> Instruction:
@@ -189,6 +204,8 @@ class ProgramBuilder:
             # Keyed by address: the pending-branch rebuild in build()
             # replaces instructions in place at the same address.
             self._lines[inst.addr] = self._line
+        if self._ignore is not None:
+            self._ignores[inst.addr] = self._ignore
         if target is not None:
             self._pending.append(_PendingBranch(len(self._insts) - 1, target))
         return inst
@@ -215,4 +232,4 @@ class ProgramBuilder:
             entry = self.base
         return Program(list(self._insts), functions, entry,
                        dict(self._labels), dict(self._data), self.name,
-                       dict(self._lines))
+                       dict(self._lines), dict(self._ignores))

@@ -1,0 +1,228 @@
+"""Program rewriting: replace, delete and insert instructions.
+
+The :class:`ProgramEditor` is the mechanical half of ``repro.opt``: it
+applies a batch of edits to a :class:`~repro.isa.program.Program` and
+rebuilds a consistent image -- addresses re-packed, branch and ``jal``
+immediates re-resolved through an old->new address map, function symbol
+ranges re-derived, labels and source-line info carried over.  Legality
+of the edits is the *caller's* problem (``repro.opt.legality`` proves
+it from dataflow facts); the editor only guarantees the rebuilt program
+is structurally well-formed.
+
+Address mapping rules:
+
+* a surviving instruction maps to its new (re-packed) address;
+* a deleted instruction maps to the next surviving instruction at or
+  after it, so branches into deleted code fall through to what follows;
+* with an insertion before address ``H``, references to ``H`` split:
+  instructions listed in *internal_addrs* (a hoisted loop's body) keep
+  targeting ``H`` itself, while every other reference -- and the entry
+  point and labels -- retargets to the start of the inserted sequence.
+  This is exactly the preheader discipline: back edges re-enter the
+  loop header, outside entries run the preheader first.
+
+After remapping, every control target that lacks a label gets a
+synthesized one so the rebuilt program still round-trips through the
+disassembler and assembler.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .instruction import INSTRUCTION_BYTES, Instruction
+from .opcodes import Op
+from .program import FunctionSymbol, Program
+
+
+class RewriteError(ValueError):
+    """Raised when an edit batch cannot produce a well-formed program."""
+
+
+def nop() -> Instruction:
+    """A fresh ``nop`` replacement instruction (address assigned later)."""
+    return Instruction(Op.NOP)
+
+
+class ProgramEditor:
+    """Accumulate edits against one program, then :meth:`build`.
+
+    Supported edits (any mix, applied in one rebuild):
+
+    * :meth:`replace` -- substitute the instruction at an address
+      in place (same slot; control replacements carry their target in
+      the *old* address space and are remapped like originals);
+    * :meth:`delete` -- remove the instruction at an address;
+    * :meth:`insert_before` -- insert a sequence of non-control
+      instructions before an address (at most one insertion per build).
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._replacements: Dict[int, Instruction] = {}
+        self._deletions: Set[int] = set()
+        self._insert_at: Optional[int] = None
+        self._inserted: List[Instruction] = []
+        self._internal: FrozenSet[int] = frozenset()
+        self._insert_line: Optional[int] = None
+
+    # -- edit recording ------------------------------------------------------
+
+    def _check_addr(self, addr: int) -> None:
+        if addr not in self.program:
+            raise RewriteError(f"no instruction at {addr:#x}")
+        if addr in self._replacements or addr in self._deletions:
+            raise RewriteError(f"conflicting edits at {addr:#x}")
+
+    def replace(self, addr: int, inst: Instruction) -> "ProgramEditor":
+        """Replace the instruction at *addr* with *inst* (addr ignored;
+        a control *inst* carries its target in old-address space)."""
+        self._check_addr(addr)
+        self._replacements[addr] = inst
+        return self
+
+    def delete(self, addr: int) -> "ProgramEditor":
+        """Delete the instruction at *addr*."""
+        self._check_addr(addr)
+        self._deletions.add(addr)
+        return self
+
+    def insert_before(self, addr: int, instructions: Sequence[Instruction],
+                      internal_addrs: FrozenSet[int] = frozenset(),
+                      line: Optional[int] = None) -> "ProgramEditor":
+        """Insert *instructions* before the instruction at *addr*.
+
+        References to *addr* from instructions whose (old) address is in
+        *internal_addrs* keep targeting *addr*; all others -- including
+        the entry point and labels -- retarget to the inserted sequence.
+        *line* tags the inserted instructions in the source-line map.
+        """
+        if self._insert_at is not None:
+            raise RewriteError("only one insertion per build")
+        if addr not in self.program:
+            raise RewriteError(f"no instruction at {addr:#x}")
+        if any(inst.static_targets() for inst in instructions):
+            raise RewriteError("inserted instructions must not be "
+                               "control transfers")
+        self._insert_at = addr
+        self._inserted = list(instructions)
+        self._internal = frozenset(internal_addrs)
+        self._insert_line = line
+        return self
+
+    # -- rebuild -------------------------------------------------------------
+
+    def build(self, name: Optional[str] = None) -> Program:
+        """Apply the recorded edits and return the rebuilt program."""
+        program = self.program
+        base = program.text_lo
+        # 1. The output sequence: (instruction, originating old addr).
+        out: List[Tuple[Instruction, Optional[int]]] = []
+        insert_index: Optional[int] = None
+        for inst in program.instructions:
+            if inst.addr == self._insert_at:
+                insert_index = len(out)
+                out.extend((ins, None) for ins in self._inserted)
+            if inst.addr in self._deletions:
+                continue
+            out.append((self._replacements.get(inst.addr, inst),
+                        inst.addr))
+        if not out:
+            raise RewriteError("edits would delete every instruction")
+
+        # 2. Old->new maps.  int_map: a deleted address maps to the next
+        # surviving instruction; ext_map additionally diverts the
+        # insertion point to the start of the inserted sequence.
+        new_addr = [base + i * INSTRUCTION_BYTES for i in range(len(out))]
+        int_map: Dict[int, int] = {}
+        for i, (_inst, old) in enumerate(out):
+            if old is not None:
+                int_map[old] = new_addr[i]
+        survivors = sorted(int_map)
+        for old in sorted(self._deletions):
+            pos = bisect.bisect_left(survivors, old)
+            if pos < len(survivors):
+                int_map[old] = int_map[survivors[pos]]
+        ext_map = dict(int_map)
+        if insert_index is not None and self._insert_at is not None:
+            ext_map[self._insert_at] = new_addr[insert_index]
+
+        def remap(old_target: int, source_old: Optional[int]) -> int:
+            use_internal = (self._insert_at is not None
+                            and old_target == self._insert_at
+                            and source_old in self._internal)
+            table = int_map if use_internal else ext_map
+            if old_target in program:
+                mapped = table.get(old_target)
+                if mapped is None:
+                    raise RewriteError(
+                        f"target {old_target:#x} was deleted with no "
+                        f"following instruction")
+                return mapped
+            return old_target  # outside this text segment (e.g. kernel)
+
+        # 3. Materialize instructions at their new addresses, with
+        # control targets remapped.
+        instructions: List[Instruction] = []
+        for i, (inst, old) in enumerate(out):
+            imm = inst.imm
+            if inst.static_targets():
+                imm = remap(inst.imm, old)
+            instructions.append(Instruction(inst.op, inst.rd, inst.sources,
+                                            imm, new_addr[i]))
+
+        # 4. Function symbols from the surviving instructions' homes;
+        # inserted instructions belong to the insertion point's function.
+        owner: List[Optional[FunctionSymbol]] = []
+        for _inst, old in out:
+            home = old if old is not None else self._insert_at
+            owner.append(program.function_of(home)
+                         if home is not None else None)
+        spans: Dict[str, Tuple[int, int]] = {}
+        for i, func in enumerate(owner):
+            if func is None:
+                continue
+            lo, hi = spans.get(func.name, (new_addr[i], new_addr[i]))
+            spans[func.name] = (min(lo, new_addr[i]),
+                                max(hi, new_addr[i]))
+        functions = [FunctionSymbol(fname, lo, hi + INSTRUCTION_BYTES)
+                     for fname, (lo, hi) in spans.items()]
+
+        # 5. Entry, labels, lines, ignores via the external map.
+        entry = ext_map.get(program.entry)
+        if entry is None:
+            raise RewriteError("the entry point was deleted")
+        labels: Dict[str, int] = {}
+        for lname, old in program.labels.items():
+            mapped = ext_map.get(old)
+            if mapped is not None:
+                labels[lname] = mapped
+        labeled = set(labels.values())
+        for inst in instructions:
+            for target in inst.static_targets():
+                if target not in labeled \
+                        and any(target == n.addr for n in instructions):
+                    fresh = f"opt_{target:x}"
+                    while fresh in labels:
+                        fresh += "_"
+                    labels[fresh] = target
+                    labeled.add(target)
+        lines: Dict[int, int] = {}
+        ignores: Dict[int, FrozenSet[str]] = {}
+        for i, (_inst, old) in enumerate(out):
+            source = old
+            if source is None:
+                if self._insert_line is not None:
+                    lines[new_addr[i]] = self._insert_line
+                continue
+            line = program.lines.get(source)
+            if line is not None:
+                lines[new_addr[i]] = line
+            ignore = program.ignores.get(source)
+            if ignore is not None:
+                ignores[new_addr[i]] = ignore
+
+        return Program(instructions, functions, entry, labels,
+                       dict(program.data), name or program.name, lines,
+                       ignores)

@@ -30,9 +30,10 @@ from .contracts import (CONTRACT_RULES, ContractReport,
 from .dataflow import (ALL_REGS, BACKWARD, BlockState,
                        ConditionalConstants, DataflowAnalysis,
                        DefiniteAssignment, DominatorTree, ENTRY_DEF,
-                       FORWARD, Liveness, LoopNest, ReachingDefinitions,
-                       loop_invariant_addrs, solve)
-from .diagnostics import Diagnostic, Severity
+                       FORWARD, Liveness, LoopNest, PreheaderSite,
+                       ReachingDefinitions, loop_invariant_addrs,
+                       preheader_site, solve)
+from .diagnostics import Diagnostic, FixHint, Severity
 from .linter import Linter, LintReport, lint_program
 from .rules import (DATAFLOW_RULE_IDS, DEFAULT_RULES, LintContext,
                     LintRule, RULES_BY_ID, SELF_CHECK_RULE_IDS,
@@ -43,10 +44,11 @@ __all__ = [
     "BasicBlock", "ControlFlowGraph", "Loop", "build_cfg",
     "ALL_REGS", "BACKWARD", "BlockState", "ConditionalConstants",
     "DataflowAnalysis", "DefiniteAssignment", "DominatorTree",
-    "ENTRY_DEF", "FORWARD", "Liveness", "LoopNest",
-    "ReachingDefinitions", "loop_invariant_addrs", "solve",
+    "ENTRY_DEF", "FORWARD", "Liveness", "LoopNest", "PreheaderSite",
+    "ReachingDefinitions", "loop_invariant_addrs", "preheader_site",
+    "solve",
     "CONTRACT_RULES", "ContractReport", "check_observer_contracts",
-    "Diagnostic", "Severity",
+    "Diagnostic", "FixHint", "Severity",
     "Linter", "LintReport", "lint_program",
     "DATAFLOW_RULE_IDS", "DEFAULT_RULES", "LintContext", "LintRule",
     "RULES_BY_ID", "SELF_CHECK_RULE_IDS", "STRUCTURAL_RULE_IDS",

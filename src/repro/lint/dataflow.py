@@ -34,6 +34,7 @@ conservatively (a call may read and define every register).
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import (Any, Dict, FrozenSet, Iterable, Iterator, List,
                     Optional, Set, Tuple)
 
@@ -651,3 +652,41 @@ def loop_invariant_addrs(cfg: ControlFlowGraph,
                     invariant.add(inst.addr)
                     changed = True
     return invariant
+
+
+# -- preheader insertion points ---------------------------------------------
+
+@dataclass(frozen=True)
+class PreheaderSite:
+    """A proven-safe insertion point for code hoisted out of a loop.
+
+    Hoisted instructions are placed textually *before* the header at
+    ``header_addr``: back edges and other in-loop references keep
+    targeting the header, while every entry from outside the loop runs
+    through the inserted code first.  ``body_addrs`` (the addresses of
+    the loop body's instructions) is exactly the set whose references
+    must keep the old target during the rewrite.
+    """
+
+    function: str
+    header_addr: int
+    body_addrs: FrozenSet[int]
+
+
+def preheader_site(cfg: ControlFlowGraph,
+                   loop: Loop) -> Optional[PreheaderSite]:
+    """A :class:`PreheaderSite` for *loop*, or ``None`` if unsafe.
+
+    The one unsafe shape: a loop-body block that physically precedes
+    the header and can fall through into it.  Inserting a preheader
+    there would put the hoisted code on the back-edge path, executing
+    it every iteration.
+    """
+    header = cfg.blocks[loop.header]
+    for index in loop.body:
+        block = cfg.blocks[index]
+        if block.end == header.start and block.terminator.can_fall_through:
+            return None
+    body_addrs = frozenset(inst.addr for index in loop.body
+                           for inst in cfg.blocks[index].instructions)
+    return PreheaderSite(loop.function, header.start, body_addrs)

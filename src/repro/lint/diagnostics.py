@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..analysis.report import format_diag
 
@@ -33,6 +33,35 @@ class Severity(enum.Enum):
 
 
 @dataclass(frozen=True)
+class FixHint:
+    """A machine-applicable fix: what to do, where, and a rendering.
+
+    ``action`` is the transformation family the optimizer dispatches
+    on: ``"nop"`` (substitute flush instructions with ``nop``),
+    ``"hoist"`` (move a loop-invariant instruction to a preheader),
+    ``"delete"`` (remove a dead instruction), ``"prune"`` (remove a
+    const-proven unreachable block), or ``"manual"`` (advice only).
+    ``addrs`` are the instruction addresses the fix touches and
+    ``header`` the loop-header address for hoists.  The legality of
+    applying the hint is *not* implied -- ``repro.opt`` re-proves it
+    from the dataflow facts before rewriting anything.
+    """
+
+    action: str
+    text: str
+    addrs: Tuple[int, ...] = ()
+    header: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"action": self.action, "text": self.text}
+        if self.addrs:
+            out["addrs"] = [f"{addr:#x}" for addr in self.addrs]
+        if self.header is not None:
+            out["header"] = f"{self.header:#x}"
+        return out
+
+
+@dataclass(frozen=True)
 class Diagnostic:
     """One finding: a rule id plus location, message and fix hint."""
 
@@ -46,6 +75,7 @@ class Diagnostic:
     path: Optional[str] = None
     line: Optional[int] = None
     col: Optional[int] = None
+    fix: Optional[FixHint] = None
 
     @property
     def is_error(self) -> bool:
@@ -78,6 +108,8 @@ class Diagnostic:
             out["cycle"] = self.cycle
         if self.fix_hint is not None:
             out["fix_hint"] = self.fix_hint
+        if self.fix is not None:
+            out["fix"] = self.fix.to_dict()
         return out
 
     def __str__(self) -> str:

@@ -20,6 +20,8 @@ class LintReport:
 
     program_name: str
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Diagnostics dropped by ``# lint: ignore[...]`` pragmas.
+    suppressed: int = 0
 
     @property
     def errors(self) -> List[Diagnostic]:
@@ -39,8 +41,10 @@ class LintReport:
         return [d for d in self.diagnostics if d.rule == rule_id]
 
     def render(self, verbose: bool = True) -> str:
+        suffix = (f", {self.suppressed} suppressed"
+                  if self.suppressed else "")
         lines = [f"{self.program_name}: {len(self.errors)} error(s), "
-                 f"{len(self.warnings)} warning(s)"]
+                 f"{len(self.warnings)} warning(s){suffix}"]
         if verbose:
             lines.extend(d.render() for d in self.diagnostics)
         return "\n".join(lines)
@@ -49,6 +53,7 @@ class LintReport:
         return {"program": self.program_name,
                 "errors": len(self.errors),
                 "warnings": len(self.warnings),
+                "suppressed": self.suppressed,
                 "diagnostics": [d.to_dict() for d in self.diagnostics]}
 
 
@@ -74,14 +79,30 @@ class Linter:
         const-proven unreachable code (L011)."""
         return cls([RULES_BY_ID[rid] for rid in SELF_CHECK_RULE_IDS])
 
-    def run(self, program: Program,
-            path: Optional[str] = None) -> LintReport:
+    def run(self, program: Program, path: Optional[str] = None,
+            honor_ignores: bool = True) -> LintReport:
         """Lint *program*; *path* attaches source file/line locations
-        (lines come from ``program.lines``, the assembler's map)."""
+        (lines come from ``program.lines``, the assembler's map).
+
+        With *honor_ignores* (the default), diagnostics at addresses
+        carrying a ``# lint: ignore[...]`` pragma are dropped and
+        counted in :attr:`LintReport.suppressed`.
+        """
         ctx = LintContext(program, build_cfg(program))
         report = LintReport(program.name)
         for rule in self.rules:
             report.diagnostics.extend(rule.check(ctx))
+        if honor_ignores and program.ignores:
+            kept = []
+            for d in report.diagnostics:
+                rules = (program.ignores.get(d.addr)
+                         if d.addr is not None else None)
+                if rules is not None and ("*" in rules
+                                          or d.rule in rules):
+                    report.suppressed += 1
+                else:
+                    kept.append(d)
+            report.diagnostics = kept
         if path is not None:
             report.diagnostics = [
                 dataclasses.replace(
@@ -97,6 +118,8 @@ class Linter:
 def lint_program(program: Program,
                  rules: Optional[Sequence[LintRule]] = None,
                  dataflow: bool = True,
-                 path: Optional[str] = None) -> LintReport:
+                 path: Optional[str] = None,
+                 honor_ignores: bool = True) -> LintReport:
     """Lint *program* with the default (or a custom) rule set."""
-    return Linter(rules, dataflow=dataflow).run(program, path=path)
+    return Linter(rules, dataflow=dataflow).run(
+        program, path=path, honor_ignores=honor_ignores)

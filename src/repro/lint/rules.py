@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import (Dict, FrozenSet, Iterator, List, Optional, Set,
-                    Tuple)
+                    Tuple, Union)
 
 from ..isa.instruction import Register
 from ..isa.opcodes import Kind
@@ -28,7 +28,7 @@ from .cfg import ControlFlowGraph
 from .dataflow import (ConditionalConstants, DefiniteAssignment, Liveness,
                        LoopNest, ReachingDefinitions, loop_invariant_addrs,
                        used_registers)
-from .diagnostics import Diagnostic, Severity
+from .diagnostics import Diagnostic, FixHint, Severity
 
 
 @dataclass
@@ -109,10 +109,19 @@ class LintRule:
 
     def diag(self, message: str, *, addr: Optional[int] = None,
              function: Optional[str] = None,
-             fix_hint: Optional[str] = None,
+             fix_hint: Optional[Union[str, FixHint]] = None,
              severity: Optional[Severity] = None) -> Diagnostic:
+        fix: Optional[FixHint] = None
+        if isinstance(fix_hint, FixHint):
+            fix = fix_hint
+        elif fix_hint is not None:
+            # Plain-text hints become advice-only structured hints, so
+            # the JSON payload always carries the same schema.
+            fix = FixHint(action="manual", text=fix_hint)
         return Diagnostic(self.rule_id, severity or self.severity, message,
-                          addr=addr, function=function, fix_hint=fix_hint)
+                          addr=addr, function=function,
+                          fix_hint=fix.text if fix is not None else None,
+                          fix=fix)
 
 
 class FlushInLoopRule(LintRule):
@@ -150,9 +159,12 @@ class FlushInLoopRule(LintRule):
                     f"{inst.op.value} flushes the pipeline on commit "
                     f"{where}",
                     addr=inst.addr, function=block.function,
-                    fix_hint=("replace with `nop` if the FP-status "
+                    fix_hint=FixHint(
+                        action="nop",
+                        text=("replace with `nop` if the FP-status "
                               "access is not required (paper Section 6: "
-                              "1.93x on Imagick)"))
+                              "1.93x on Imagick)"),
+                        addrs=(inst.addr,), header=header))
 
 
 class SerializeInLoopRule(LintRule):
@@ -442,8 +454,11 @@ class DeadStoreRule(LintRule):
                         f"{Register.name(inst.rd)} but the value is "
                         f"never read",
                         addr=inst.addr, function=block.function,
-                        fix_hint="delete the instruction or use its "
-                                 "result")
+                        fix_hint=FixHint(
+                            action="delete",
+                            text="delete the instruction or use its "
+                                 "result",
+                            addrs=(inst.addr,)))
 
 
 class ConstantUnreachableRule(LintRule):
@@ -481,8 +496,12 @@ class ConstantUnreachableRule(LintRule):
                     f"block {block.start:#x}..{block.end:#x} can never "
                     f"execute{detail}",
                     addr=block.start, function=block.function,
-                    fix_hint="remove the dead code or fix the branch "
-                             "condition")
+                    fix_hint=FixHint(
+                        action="prune",
+                        text="remove the dead code or fix the branch "
+                             "condition",
+                        addrs=tuple(i.addr
+                                    for i in block.instructions)))
 
 
 class InvariantFlushRule(LintRule):
@@ -538,10 +557,13 @@ class InvariantFlushRule(LintRule):
                     f"the same value in {where} while flushing the "
                     f"pipeline on every commit",
                     addr=inst.addr, function=function,
-                    fix_hint=("hoist the access out of the loop, or "
+                    fix_hint=FixHint(
+                        action="hoist",
+                        text=("hoist the access out of the loop, or "
                               "replace the pair with `nop` if the "
                               "FP-status result is unused (paper "
-                              "Section 6: 1.93x on Imagick)"))
+                              "Section 6: 1.93x on Imagick)"),
+                        addrs=(inst.addr,), header=header))
 
 
 class NoTimeDrivenExitRule(LintRule):

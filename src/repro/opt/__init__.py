@@ -1,0 +1,36 @@
+"""Sound profile-guided optimizer: dataflow-proven rewrites.
+
+``repro optimize`` closes the loop the paper's Section 6 opens: TIP
+pinpoints the Imagick flush pair, the linter names the anti-pattern,
+and this package *applies the fix* -- but only after re-proving every
+rewrite from the dataflow engine's facts and attaching the proof as a
+machine-readable :class:`~repro.opt.legality.Certificate`:
+
+* :mod:`repro.opt.legality` -- the planners: flush-pair removal,
+  loop-invariant flush hoisting, dead-store deletion, const-unreachable
+  pruning;
+* :mod:`repro.opt.rewriter` -- the lint -> prove -> rewrite -> repeat
+  driver (:class:`Optimizer`);
+* :mod:`repro.opt.verify` -- the empirical check: differential
+  execution on the reference interpreter plus measured speedup on the
+  out-of-order core (Imagick's 1.93x).
+"""
+
+from .legality import (Certificate, DeadStorePlan, FlushPairPlan,
+                       HoistPlan, PrunePlan, plan_dead_store,
+                       plan_flush_pair, plan_hoist, plan_prune)
+from .rewriter import (AppliedRewrite, OPTIMIZABLE_RULES,
+                       OptimizationResult, Optimizer, SkippedFinding,
+                       optimize_program)
+from .verify import (DifferentialReport, SpeedupReport, TrialResult,
+                     diff_architectural, measure_speedup)
+
+__all__ = [
+    "Certificate", "DeadStorePlan", "FlushPairPlan", "HoistPlan",
+    "PrunePlan", "plan_dead_store", "plan_flush_pair", "plan_hoist",
+    "plan_prune",
+    "AppliedRewrite", "OPTIMIZABLE_RULES", "OptimizationResult",
+    "Optimizer", "SkippedFinding", "optimize_program",
+    "DifferentialReport", "SpeedupReport", "TrialResult",
+    "diff_architectural", "measure_speedup",
+]

@@ -1,0 +1,523 @@
+"""Legality proofs for the profile-guided rewrites.
+
+Every transformation ``repro.opt`` applies is justified by a
+:class:`Certificate`: the dataflow facts -- reaching definitions,
+liveness, dominance, loop invariance, constant-branch verdicts -- that
+prove the rewrite preserves the program's observable architectural
+state (final data memory, the ``fflags`` CSR, and halting).  A planner
+either returns a plan carrying its certificate or a string explaining
+which fact could not be established; nothing is ever rewritten "because
+the lint rule said so".
+
+The planners:
+
+* :func:`plan_flush_pair` (L001/L012) -- a ``frflags``-family save
+  whose only consumers are ``fsflags`` restores of the *unmodified*
+  flag state: both sides of the pair become ``nop`` (the paper's
+  Section 6 Imagick fix);
+* :func:`plan_hoist` (L012) -- a loop-invariant flush whose value is
+  genuinely used: moved to a synthesized preheader;
+* :func:`plan_dead_store` (L010) -- a pure computation whose result is
+  dead on every path: deleted;
+* :func:`plan_prune` (L011) -- constant-verdict branches rewritten to
+  unconditional form and the blocks they strand removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from ..isa.instruction import Instruction, Register
+from ..isa.opcodes import Kind, Op
+from ..lint.dataflow import (ENTRY_DEF, PreheaderSite, is_call_like,
+                             preheader_site, used_registers)
+from ..lint.rules import LintContext
+
+#: The only opcode that architecturally writes ``fflags`` (matching the
+#: reference interpreter); ``frflags``/``csrrw`` read it.
+_FFLAGS_WRITER = Op.FSFLAGS
+#: Flag-reading saves eligible for pair removal or hoisting.
+_FFLAGS_READERS = frozenset({Op.FRFLAGS, Op.CSRRW})
+
+#: Pure computation kinds whose only effect is their destination
+#: register (the L010 candidate set).
+_PURE_KINDS = frozenset({Kind.ALU, Kind.MUL, Kind.DIV, Kind.FP_ALU,
+                         Kind.FP_DIV})
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The machine-readable justification for one applied rewrite."""
+
+    rewrite: str
+    rule: str
+    function: str
+    addrs: Tuple[int, ...]
+    facts: Tuple[str, ...]
+
+    def to_dict(self) -> Dict:
+        return {"rewrite": self.rewrite,
+                "rule": self.rule,
+                "function": self.function,
+                "addrs": [f"{a:#x}" for a in self.addrs],
+                "facts": list(self.facts)}
+
+
+@dataclass(frozen=True)
+class FlushPairPlan:
+    """Nop-substitute a flag save and its restore(s)."""
+
+    save: Instruction
+    restores: Tuple[Instruction, ...]
+    certificate: Certificate
+
+
+@dataclass(frozen=True)
+class HoistPlan:
+    """Move a loop-invariant flag read to a synthesized preheader."""
+
+    inst: Instruction
+    site: PreheaderSite
+    certificate: Certificate
+
+
+@dataclass(frozen=True)
+class DeadStorePlan:
+    """Delete a pure computation whose result is never read."""
+
+    inst: Instruction
+    certificate: Certificate
+
+
+@dataclass(frozen=True)
+class PrunePlan:
+    """Rewrite constant-verdict branches and delete stranded blocks."""
+
+    function: str
+    #: Branch terminator -> replacement (``jal x0`` or ``nop``).
+    branch_rewrites: Dict[int, Instruction] = field(default_factory=dict)
+    #: Addresses of the const-unreachable instructions to delete.
+    delete_addrs: FrozenSet[int] = frozenset()
+    certificate: Optional[Certificate] = None
+
+
+# -- shared fact finders -----------------------------------------------------
+
+def _fflags_writing_functions(ctx: LintContext) -> Set[str]:
+    """Functions that may (transitively) execute a ``fsflags``."""
+    writers = {block.function for block in ctx.cfg.blocks
+               for inst in block.instructions
+               if inst.op is _FFLAGS_WRITER}
+    callers: Dict[str, Set[str]] = {}
+    for block in ctx.cfg.blocks:
+        for target in block.call_targets:
+            callee = ctx.cfg.block_of(target)
+            if callee is not None:
+                callers.setdefault(callee.function,
+                                   set()).add(block.function)
+    work = list(writers)
+    while work:
+        name = work.pop()
+        for caller in callers.get(name, ()):
+            if caller not in writers:
+                writers.add(caller)
+                work.append(caller)
+    return writers
+
+
+def _unsafe_read(ctx: LintContext, reg: int,
+                 allowed: FrozenSet[int]) -> Optional[str]:
+    """Prove no instruction outside *allowed* can observe the value a
+    removed definition of *reg* leaves behind.
+
+    Whole-program, flow-insensitive-over-functions: every read of *reg*
+    must be supplied by a local definition that is neither the function
+    boundary (``ENTRY_DEF`` -- the value may have flowed in from the
+    rewritten site) nor a call site (the value may have survived the
+    call).  Returns a description of the first unprovable read, or
+    ``None`` when all reads are safe.
+    """
+    for function in ctx.cfg.functions:
+        reaching = ctx.reaching(function)
+        for index in sorted(reaching.states):
+            block = ctx.cfg.blocks[index]
+            for inst, env in reaching.at(block):
+                if reg not in used_registers(inst):
+                    continue
+                if inst.addr in allowed:
+                    continue
+                sites = env.get(reg, frozenset())
+                if ENTRY_DEF in sites:
+                    return (f"{Register.name(reg)} read at "
+                            f"{inst.addr:#x} ({function}) may observe "
+                            f"the value at function entry")
+                for site in sites:
+                    definer = ctx.program.fetch(site)
+                    if definer is None or is_call_like(definer):
+                        return (f"{Register.name(reg)} read at "
+                                f"{inst.addr:#x} ({function}) may "
+                                f"observe a value surviving a call")
+    return None
+
+
+def _path_blocks(ctx: LintContext, function: str, src: int,
+                 dst: int) -> Set[int]:
+    """Block indices on some intra-function path from block *src* to
+    block *dst* (inclusive)."""
+    blocks = ctx.cfg.blocks
+    local = set(ctx.cfg.functions.get(function, ()))
+    fwd = {src}
+    work = [src]
+    while work:
+        for succ in blocks[work.pop()].successors:
+            if succ in local and succ not in fwd:
+                fwd.add(succ)
+                work.append(succ)
+    back = {dst}
+    work = [dst]
+    while work:
+        for pred in blocks[work.pop()].predecessors:
+            if pred in local and pred not in back:
+                back.add(pred)
+                work.append(pred)
+    return fwd & back
+
+
+def _window(block_insts: List[Instruction], block_index: int,
+            save: Instruction, restore: Instruction,
+            save_block: int, restore_block: int) -> List[Instruction]:
+    """The instructions of one path block that can execute between the
+    save and the restore."""
+    insts = block_insts
+    if block_index == save_block:
+        insts = [i for i in insts if i.addr > save.addr]
+    if block_index == restore_block:
+        insts = [i for i in insts if i.addr < restore.addr]
+    return insts
+
+
+# -- flush-pair removal (L001 / L012) ---------------------------------------
+
+def plan_flush_pair(ctx: LintContext,
+                    addr: int) -> Union[FlushPairPlan, str]:
+    """Plan nop-substitution of the flag save at *addr* and its
+    restores, or explain why it cannot be proven safe.
+
+    Proven facts:
+
+    1. every read of the save's destination register reached by the
+       save is an ``fsflags`` restore whose *only* reaching definition
+       is the save (so dropping both changes no other consumer);
+    2. on every save->restore path no instruction writes ``fflags`` and
+       no call can (transitively) write it, so the restore writes back
+       the exact current flag state -- an architectural no-op;
+    3. no read anywhere in the program can observe the stale value the
+       removed save leaves in its destination register.
+    """
+    program = ctx.program
+    inst = program.fetch(addr)
+    if inst is None:
+        return f"no instruction at {addr:#x}"
+    if inst.op not in _FFLAGS_READERS:
+        return (f"{inst.op.value} is not a flag save "
+                f"(frflags/csrrw); cannot pair")
+    if inst.rd is None or inst.rd == 0:
+        return f"{inst.op.value} discards its result; nothing to pair"
+    block = ctx.cfg.block_of(addr)
+    if block is None:
+        return f"{addr:#x} is not in the control-flow graph"
+    function = block.function
+    rd = inst.rd
+    reaching = ctx.reaching(function)
+
+    # Fact 1: collect the consumers of the save's value.
+    restores: List[Instruction] = []
+    for index in sorted(reaching.states):
+        for reader, env in reaching.at(ctx.cfg.blocks[index]):
+            if rd not in used_registers(reader):
+                continue
+            sites = env.get(rd, frozenset())
+            if addr not in sites:
+                continue
+            if reader.op is not _FFLAGS_WRITER:
+                return (f"saved {Register.name(rd)} flows to "
+                        f"{reader.op.value} at {reader.addr:#x}; the "
+                        f"value is really used")
+            if sites != frozenset({addr}):
+                return (f"fsflags at {reader.addr:#x} may restore a "
+                        f"value from another definition")
+            restores.append(reader)
+
+    # Fact 2: flag purity on every save->restore path.
+    fflags_writers = _fflags_writing_functions(ctx)
+    for restore in restores:
+        rblock = ctx.cfg.block_of(restore.addr)
+        assert rblock is not None
+        for index in _path_blocks(ctx, function, block.index,
+                                  rblock.index):
+            window = _window(ctx.cfg.blocks[index].instructions, index,
+                             inst, restore, block.index, rblock.index)
+            for between in window:
+                if between.op is _FFLAGS_WRITER \
+                        and between.addr != restore.addr:
+                    return (f"fflags rewritten at {between.addr:#x} "
+                            f"between save and restore")
+                if is_call_like(between):
+                    if between.is_call:
+                        callee = ctx.cfg.block_of(between.imm)
+                        if callee is not None and \
+                                callee.function not in fflags_writers:
+                            continue
+                    return (f"call at {between.addr:#x} between save "
+                            f"and restore may write fflags")
+
+    # Fact 3: the stale scratch register is unobservable.
+    allowed = frozenset({addr} | {r.addr for r in restores})
+    unsafe = _unsafe_read(ctx, rd, allowed)
+    if unsafe is not None:
+        return unsafe
+
+    addrs = (addr,) + tuple(r.addr for r in restores)
+    facts = [
+        f"reaching definitions: every consumer of "
+        f"{Register.name(rd)}@{addr:#x} is an fsflags restore with "
+        f"that sole reaching definition",
+        "flag purity: no fflags writer or flag-writing call on any "
+        "save->restore path",
+        f"scratch: no read of {Register.name(rd)} outside the pair "
+        f"can observe the removed definition",
+    ]
+    if not restores:
+        facts[0] = (f"reaching definitions: "
+                    f"{Register.name(rd)}@{addr:#x} has no consumer "
+                    f"at all")
+        facts.pop(1)
+    certificate = Certificate("nop-flush-pair", "L001", function,
+                              addrs, tuple(facts))
+    return FlushPairPlan(inst, tuple(restores), certificate)
+
+
+# -- loop-invariant hoisting (L012) -----------------------------------------
+
+def plan_hoist(ctx: LintContext, addr: int) -> Union[HoistPlan, str]:
+    """Plan hoisting the loop-invariant flag read at *addr* into a
+    synthesized preheader, or explain why it cannot be proven safe.
+
+    Proven facts:
+
+    1. the instruction is loop-invariant (LICM closure over reaching
+       definitions) and none of its register operands is supplied from
+       inside the loop;
+    2. nothing in the loop body writes ``fflags`` (directly or through
+       a call), so the flag state it reads is the same at the preheader
+       and at every iteration;
+    3. its block dominates every loop exit, so the original executed it
+       before any value could escape the loop;
+    4. every in-loop read of its destination register is reached only
+       by this definition (first-iteration reads see the same value
+       after the hoist);
+    5. a preheader exists: no loop-body block falls through into the
+       header.
+    """
+    program = ctx.program
+    inst = program.fetch(addr)
+    if inst is None:
+        return f"no instruction at {addr:#x}"
+    if inst.op not in _FFLAGS_READERS:
+        return f"{inst.op.value} is not a hoistable flag read"
+    if inst.rd is None:
+        return f"{inst.op.value} has no destination to hoist"
+    block = ctx.cfg.block_of(addr)
+    if block is None:
+        return f"{addr:#x} is not in the control-flow graph"
+    function = block.function
+    loop = ctx.loop_nest(function).innermost(block.index)
+    if loop is None:
+        return "not inside a natural loop (called-from-loop shapes " \
+               "cannot take a preheader)"
+
+    # Fact 5 first: without a site nothing else matters.
+    site = preheader_site(ctx.cfg, loop)
+    if site is None:
+        return "no safe preheader: a loop-body block falls through " \
+               "into the header"
+
+    # Fact 1: invariance, with operands strictly from outside the loop.
+    region = frozenset(loop.body)
+    invariant = ctx.invariants(function, region, False)
+    if addr not in invariant:
+        return "not loop-invariant under reaching definitions"
+    reaching = ctx.reaching(function)
+    env_at: Dict[int, FrozenSet[int]] = {}
+    for reader, env in reaching.at(block):
+        if reader.addr == addr:
+            env_at = {reg: env.get(reg, frozenset())
+                      for reg in used_registers(inst)}
+    for reg, sites in env_at.items():
+        if sites & site.body_addrs:
+            return (f"operand {Register.name(reg)} is defined inside "
+                    f"the loop")
+
+    # Fact 2: flag purity inside the loop.
+    fflags_writers = _fflags_writing_functions(ctx)
+    for index in loop.body:
+        body_block = ctx.cfg.blocks[index]
+        for body_inst in body_block.instructions:
+            if body_inst.op is _FFLAGS_WRITER:
+                return (f"fflags written at {body_inst.addr:#x} inside "
+                        f"the loop")
+            if is_call_like(body_inst):
+                if body_inst.is_call:
+                    callee = ctx.cfg.block_of(body_inst.imm)
+                    if callee is not None and \
+                            callee.function not in fflags_writers:
+                        continue
+                return (f"call at {body_inst.addr:#x} inside the loop "
+                        f"may write fflags")
+
+    # Fact 3: dominance over every loop exit.
+    dom = ctx.cfg.dominators(function)
+    for index in loop.body:
+        for succ in ctx.cfg.blocks[index].successors:
+            if succ in loop.body:
+                continue
+            if block.index not in dom.get(succ, ()):
+                return (f"block does not dominate the loop exit via "
+                        f"block #{succ}")
+
+    # Fact 4: in-loop reads of rd see only this definition.
+    rd = inst.rd
+    if rd != 0:
+        for index in sorted(loop.body):
+            for reader, env in reaching.at(ctx.cfg.blocks[index]):
+                if rd not in used_registers(reader):
+                    continue
+                if env.get(rd, frozenset()) != frozenset({addr}):
+                    return (f"{Register.name(rd)} read at "
+                            f"{reader.addr:#x} may see another "
+                            f"definition")
+
+    header = site.header_addr
+    certificate = Certificate(
+        "hoist-invariant-flush", "L012", function, (addr,),
+        (f"loop-invariant in the loop at {header:#x} "
+         f"(LICM closure over reaching definitions)",
+         "no operand defined inside the loop",
+         "no fflags writer or flag-writing call in the loop body",
+         "defining block dominates every loop exit",
+         f"every in-loop read of {Register.name(rd)} is reached only "
+         f"by this definition",
+         f"preheader synthesized before the header at {header:#x}"))
+    return HoistPlan(inst, site, certificate)
+
+
+# -- dead-store deletion (L010) ---------------------------------------------
+
+def plan_dead_store(ctx: LintContext,
+                    addr: int) -> Union[DeadStorePlan, str]:
+    """Plan deleting the dead store at *addr*, re-proving deadness."""
+    inst = ctx.program.fetch(addr)
+    if inst is None:
+        return f"no instruction at {addr:#x}"
+    if inst.kind not in _PURE_KINDS:
+        return f"{inst.op.value} has effects beyond its destination"
+    if inst.rd is None or inst.rd == 0:
+        return "no destination register"
+    block = ctx.cfg.block_of(addr)
+    if block is None:
+        return f"{addr:#x} is not in the control-flow graph"
+    liveness = ctx.liveness(block.function)
+    for candidate, live in zip(block.instructions,
+                               liveness.live_after(block)):
+        if candidate.addr != addr:
+            continue
+        if inst.rd in live:
+            return (f"{Register.name(inst.rd)} is live after "
+                    f"{addr:#x}")
+        certificate = Certificate(
+            "delete-dead-store", "L010", block.function, (addr,),
+            (f"liveness: {Register.name(inst.rd)} is dead after "
+             f"{addr:#x} on every path (conservative call/return "
+             f"boundaries)",
+             f"purity: {inst.op.value} has no effect beyond "
+             f"{Register.name(inst.rd)}"))
+        return DeadStorePlan(inst, certificate)
+    return f"{addr:#x} not found in its block"
+
+
+# -- const-unreachable pruning (L011) ---------------------------------------
+
+def plan_prune(ctx: LintContext, function: str) -> Union[PrunePlan, str]:
+    """Plan constant-branch rewrites and dead-block deletion for one
+    function, or explain why nothing can be pruned.
+
+    Branches with a constant verdict become ``jal x0`` (always taken)
+    or ``nop`` (always falls through); blocks the verdicts strand are
+    deleted when nothing outside the stranded set still targets them.
+    """
+    constants = ctx.constants(function)
+    cfg = ctx.cfg
+    branch_rewrites: Dict[int, Instruction] = {}
+    verdict_facts: List[str] = []
+    for index, verdict in sorted(constants.verdicts.items()):
+        if index not in constants.executable \
+                or index not in cfg.reachable:
+            continue
+        term = cfg.blocks[index].terminator
+        if not term.is_branch:
+            continue
+        if verdict:
+            branch_rewrites[term.addr] = Instruction(
+                Op.JAL, rd=0, sources=(), imm=term.imm)
+            way = "always taken -> jal x0"
+        else:
+            branch_rewrites[term.addr] = Instruction(Op.NOP)
+            way = "always falls through -> nop"
+        verdict_facts.append(
+            f"constant verdict: {term.op.value}@{term.addr:#x} {way}")
+
+    dead = {index
+            for index in constants.structural - constants.executable
+            if index in cfg.reachable}
+    dead_addrs = {inst.addr for index in dead
+                  for inst in cfg.blocks[index].instructions}
+
+    def rewritten_targets(inst: Instruction) -> Tuple[int, ...]:
+        replacement = branch_rewrites.get(inst.addr)
+        if replacement is not None:
+            return replacement.static_targets()
+        return inst.static_targets()
+
+    # A dead block survives if anything outside the dead set still
+    # targets it (calls, computed tables) or it holds the entry point.
+    pinned: Set[int] = set()
+    for block in cfg.blocks:
+        for inst in block.instructions:
+            if inst.addr in dead_addrs:
+                continue
+            for target in rewritten_targets(inst):
+                if target in dead_addrs:
+                    owner = cfg.block_index_of(target)
+                    if owner is not None:
+                        pinned.add(owner)
+    entry_block = cfg.block_index_of(ctx.program.entry)
+    if entry_block is not None:
+        pinned.add(entry_block)
+    deletable = dead - pinned
+    delete_addrs = frozenset(inst.addr for index in deletable
+                             for inst in cfg.blocks[index].instructions)
+
+    if not branch_rewrites and not delete_addrs:
+        return "no constant verdicts and no deletable stranded blocks"
+    facts = verdict_facts + [
+        f"const-unreachable: block "
+        f"{cfg.blocks[index].start:#x}..{cfg.blocks[index].end:#x} "
+        f"is never executable and nothing outside the dead set "
+        f"targets it"
+        for index in sorted(deletable)]
+    addrs = tuple(sorted(branch_rewrites)) + tuple(sorted(delete_addrs))
+    certificate = Certificate("prune-const-unreachable", "L011",
+                              function, addrs, tuple(facts))
+    return PrunePlan(function, branch_rewrites, delete_addrs,
+                     certificate)

@@ -10,12 +10,17 @@ flushes the pipeline.  The paper's fix replaces the CSR instructions with
 :func:`build_imagick` generates the original program;
 ``build_imagick(optimized=True)`` generates the fixed one.  Both have
 *identical* instruction addresses, so profiles line up line for line.
+Because the fix claims to be semantics-preserving, the builder *checks*
+it: the first build of any parameter set runs both variants through the
+differential harness (:func:`repro.opt.verify.diff_architectural`) and
+refuses to hand out a pair whose observable architectural state
+diverges.  The check is memoized per ``(pixels, morph_iters, seed)``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List, Set, Tuple
 
 from ..isa.assembler import assemble
 from ..isa.program import Program, TEXT_BASE
@@ -114,13 +119,8 @@ MA_L:
 """
 
 
-def build_imagick(optimized: bool = False, pixels: int = 1500,
-                  morph_iters: int = 3400, seed: int = 42) -> Workload:
-    """Build the Imagick case-study workload.
-
-    *optimized* replaces the ``frflags``/``fsflags`` pair in ``ceil`` and
-    ``floor`` with ``nop``, reproducing the paper's fix.
-    """
+def _build_program(optimized: bool, pixels: int, morph_iters: int,
+                   seed: int) -> Program:
     name = "imagick-opt" if optimized else "imagick-orig"
     program = assemble(_source(pixels, morph_iters, optimized),
                        base=TEXT_BASE, name=name)
@@ -131,6 +131,46 @@ def build_imagick(optimized: bool = False, pixels: int = 1500,
     for i in range(0, MORPH_WORDS, 2):
         program.data[MORPH_BASE + 8 * i] = rng.uniform(0.5, 1.5)
         program.data[MORPH_BASE + 8 * (i + 1)] = rng.uniform(0.5, 1.5)
+    return program
+
+
+#: Parameter sets whose orig/opt pair already passed the differential.
+_VERIFIED_SIBLINGS: Set[Tuple[int, int, int]] = set()
+
+
+def _verify_siblings(orig: Program, opt: Program,
+                     key: Tuple[int, int, int]) -> None:
+    """Differentially execute the orig/opt pair (once per *key*)."""
+    if key in _VERIFIED_SIBLINGS:
+        return
+    from ..opt.verify import diff_architectural
+    report = diff_architectural(orig, opt, trials=2,
+                                max_instructions=50_000_000)
+    if not report.identical:
+        raise ValueError(
+            "imagick variants diverge architecturally:\n"
+            + report.render())
+    _VERIFIED_SIBLINGS.add(key)
+
+
+def build_imagick(optimized: bool = False, pixels: int = 1500,
+                  morph_iters: int = 3400, seed: int = 42) -> Workload:
+    """Build the Imagick case-study workload.
+
+    *optimized* replaces the ``frflags``/``fsflags`` pair in ``ceil`` and
+    ``floor`` with ``nop``, reproducing the paper's fix.  The first
+    build of a parameter set differentially verifies the two variants
+    against each other on the reference interpreter.
+    """
+    name = "imagick-opt" if optimized else "imagick-orig"
+    program = _build_program(optimized, pixels, morph_iters, seed)
+    key = (pixels, morph_iters, seed)
+    if key not in _VERIFIED_SIBLINGS:
+        sibling = _build_program(not optimized, pixels, morph_iters,
+                                 seed)
+        orig, opt = ((sibling, program) if optimized
+                     else (program, sibling))
+        _verify_siblings(orig, opt, key)
     premapped: List[Tuple[int, int]] = [
         (PIXEL_BASE, PIXEL_BASE + 8 * PIXEL_WORDS),
         (OUT_BASE, OUT_BASE + 8 * PIXEL_WORDS),

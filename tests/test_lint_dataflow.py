@@ -174,6 +174,7 @@ EXAMPLE_GOLDENS = {
     "const_dead_branch.s": ("L011",),
     "csr_hotloop.s": ("L001", "L001", "L012", "L012"),
     "dead_store.s": ("L010",),
+    "hoistable_flush.s": ("L001", "L012"),
     "loop_invariant_csr.s": ("L001", "L012"),
     "spin_wait.s": ("L013",),
     "streaming_clean.s": (),

@@ -1,0 +1,128 @@
+"""ProgramEditor tests: in-place replacement, deletion with target
+remapping, preheader insertion, and disassembler round-trips."""
+
+import pytest
+
+from repro.isa import (INSTRUCTION_BYTES, Instruction, ProgramEditor,
+                       RewriteError, assemble, disassemble,
+                       run_reference)
+from repro.isa.opcodes import Op
+from repro.isa.rewrite import nop
+
+LOOP = """
+.entry main
+.func main
+main:
+    addi x1, x0, 4
+    addi x2, x0, 0
+loop:
+    addi x2, x2, 3
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    sw   x2, 0(x3)
+    halt
+"""
+
+
+def _program():
+    return assemble(LOOP, name="loop")
+
+
+def _addr_of(program, op_value, occurrence=0):
+    matches = [i.addr for i in program.instructions
+               if i.op.value == op_value]
+    return matches[occurrence]
+
+
+def test_replace_in_place_keeps_layout():
+    program = _program()
+    target = _addr_of(program, "addi", 2)
+    rebuilt = ProgramEditor(program).replace(target, nop()).build()
+    assert [i.addr for i in rebuilt.instructions] == \
+        [i.addr for i in program.instructions]
+    assert rebuilt.fetch(target).op is Op.NOP
+
+
+def test_delete_shifts_and_remaps_branches():
+    program = _program()
+    rebuilt = ProgramEditor(program).delete(
+        _addr_of(program, "addi", 1)).build()
+    assert len(rebuilt.instructions) == len(program.instructions) - 1
+    # The loop still runs 4 iterations and stores 12.
+    memory = run_reference(rebuilt).memory
+    assert memory[0] == 12
+
+
+def test_delete_branch_target_falls_through():
+    program = _program()
+    # Delete the first loop-body instruction: the back edge must
+    # retarget to the next surviving instruction.
+    rebuilt = ProgramEditor(program).delete(
+        _addr_of(program, "addi", 2)).build()
+    bne = next(i for i in rebuilt.instructions if i.op.value == "bne")
+    assert bne.imm == rebuilt.labels["loop"]
+    assert run_reference(rebuilt).halted
+
+
+def test_insert_before_external_refs_run_inserted_code():
+    program = _program()
+    header = program.labels["loop"]
+    body = frozenset(i.addr for i in program.instructions
+                     if i.addr >= header)
+    rebuilt = ProgramEditor(program).insert_before(
+        header, [Instruction(Op.ADDI, rd=5, sources=(0,), imm=7)],
+        internal_addrs=body).build()
+    assert len(rebuilt.instructions) == len(program.instructions) + 1
+    state = run_reference(rebuilt)
+    # Inserted once (preheader), not per iteration.
+    assert state.regs[5] == 7
+    assert state.memory[0] == 12
+    # The back edge targets the old header, one slot after the insert.
+    bne = next(i for i in rebuilt.instructions if i.op.value == "bne")
+    assert bne.imm == rebuilt.labels["loop"] + INSTRUCTION_BYTES
+
+
+def test_insert_rejects_control_instructions():
+    program = _program()
+    with pytest.raises(RewriteError):
+        ProgramEditor(program).insert_before(
+            program.labels["loop"],
+            [Instruction(Op.JAL, rd=0, sources=(), imm=program.entry)])
+
+
+def test_conflicting_edits_rejected():
+    program = _program()
+    editor = ProgramEditor(program).delete(program.entry)
+    with pytest.raises(RewriteError):
+        editor.replace(program.entry, nop())
+
+
+def test_deleting_entry_rejected():
+    program = _program()
+    editor = ProgramEditor(program)
+    for inst in program.instructions:
+        editor.delete(inst.addr)
+    with pytest.raises(RewriteError):
+        editor.build()
+
+
+def test_functions_and_lines_survive():
+    program = _program()
+    target = _addr_of(program, "addi", 1)
+    rebuilt = ProgramEditor(program).delete(target).build()
+    assert [f.name for f in rebuilt.functions] == \
+        [f.name for f in program.functions]
+    # Line table carried over and re-keyed to surviving addresses.
+    valid = {i.addr for i in rebuilt.instructions}
+    assert rebuilt.lines and set(rebuilt.lines) <= valid
+    assert len(rebuilt.lines) == len(program.lines) - 1
+
+
+def test_disasm_round_trip_after_edits():
+    program = _program()
+    rebuilt = ProgramEditor(program).delete(
+        _addr_of(program, "addi", 1)).build()
+    again = assemble(disassemble(rebuilt), name="again")
+    assert [(i.op, i.rd, i.sources, i.imm) for i in again.instructions] \
+        == [(i.op, i.rd, i.sources, i.imm) for i in rebuilt.instructions]
+    assert run_reference(again).memory == run_reference(rebuilt).memory

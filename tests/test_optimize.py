@@ -1,0 +1,286 @@
+"""``repro.opt`` tests: legality planners, the optimizer driver, the
+verification harness, the imagick end-to-end reproduction and the CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.isa import assemble, run_reference
+from repro.lint import lint_program
+from repro.lint.cfg import build_cfg
+from repro.lint.rules import LintContext
+from repro.opt import (FlushPairPlan, HoistPlan, diff_architectural,
+                       optimize_program, plan_flush_pair, plan_hoist)
+from repro.workloads.imagick import build_imagick
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "asm"
+
+
+def _example(name):
+    return assemble((EXAMPLES / name).read_text(), name=name)
+
+
+def _ctx(program):
+    return LintContext(program, build_cfg(program))
+
+
+# -- legality ----------------------------------------------------------------
+
+def test_flush_pair_proof_on_imagick():
+    program = build_imagick(pixels=10, morph_iters=10).program
+    ctx = _ctx(program)
+    saves = [i for i in program.instructions
+             if i.op.value == "frflags"]
+    assert len(saves) == 2
+    for save in saves:
+        plan = plan_flush_pair(ctx, save.addr)
+        assert isinstance(plan, FlushPairPlan), plan
+        assert len(plan.restores) == 1
+        assert plan.certificate.rule == "L001"
+        assert len(plan.certificate.facts) == 3
+
+
+def test_flush_pair_rejects_used_value():
+    program = _example("hoistable_flush.s")
+    ctx = _ctx(program)
+    save = next(i for i in program.instructions
+                if i.op.value == "frflags")
+    plan = plan_flush_pair(ctx, save.addr)
+    assert isinstance(plan, str) and "really used" in plan
+
+
+def test_flush_pair_rejects_intervening_flag_write():
+    program = assemble("""
+.entry main
+.func main
+main:
+    frflags x7
+    addi x5, x0, 1
+    fsflags x5
+    fsflags x7
+    halt
+""", name="clobber")
+    ctx = _ctx(program)
+    save = next(i for i in program.instructions
+                if i.op.value == "frflags")
+    plan = plan_flush_pair(ctx, save.addr)
+    assert isinstance(plan, str)
+
+
+def test_hoist_proof_on_example():
+    program = _example("hoistable_flush.s")
+    ctx = _ctx(program)
+    save = next(i for i in program.instructions
+                if i.op.value == "frflags")
+    plan = plan_hoist(ctx, save.addr)
+    assert isinstance(plan, HoistPlan), plan
+    assert plan.certificate.rule == "L012"
+    assert plan.site.header_addr == program.labels["loop"]
+
+
+def test_hoist_rejects_variant_operand():
+    program = assemble("""
+.entry main
+.func main
+main:
+    addi x1, x0, 4
+loop:
+    addi x2, x2, 1
+    csrrw x7, x2
+    sw   x7, 0(x3)
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt
+""", name="variant")
+    ctx = _ctx(program)
+    csr = next(i for i in program.instructions
+               if i.op.value == "csrrw")
+    plan = plan_hoist(ctx, csr.addr)
+    assert isinstance(plan, str)
+
+
+# -- examples end-to-end -----------------------------------------------------
+
+@pytest.mark.parametrize("name,expected", [
+    ("dead_store.s", "delete-dead-store"),
+    ("const_dead_branch.s", "prune-const-unreachable"),
+    ("loop_invariant_csr.s", "nop-flush-pair"),
+    ("hoistable_flush.s", "hoist-invariant-flush"),
+])
+def test_examples_optimize_clean(name, expected):
+    program = _example(name)
+    result = optimize_program(program)
+    assert expected in {a.certificate.rewrite for a in result.applied}
+    # Architecturally identical on as-built and randomized data.
+    assert diff_architectural(program, result.program,
+                              trials=3).identical
+    # The transformed program no longer trips the triggering rules.
+    assert not lint_program(result.program).diagnostics
+
+
+def test_hoisted_flush_executes_once():
+    program = _example("hoistable_flush.s")
+    result = optimize_program(program)
+    before = run_reference(program)
+    after = run_reference(result.program)
+    flushes = lambda m, p: sum(  # noqa: E731
+        1 for i in p.instructions if i.op.value == "frflags")
+    assert flushes(after, result.program) == 1
+    assert after.memory == before.memory
+    # 8 iterations before; after the hoist the loop has 5 body
+    # instructions plus 3 of setup/preheader/halt.
+    assert after.instructions_executed < before.instructions_executed
+
+
+def test_optimizer_is_idempotent():
+    program = _example("const_dead_branch.s")
+    once = optimize_program(program)
+    twice = optimize_program(once.program)
+    assert not twice.changed
+    assert twice.program is once.program
+
+
+def test_ignore_pragma_blocks_optimization():
+    source = (EXAMPLES / "loop_invariant_csr.s").read_text()
+    source = source.replace("frflags x7 ",
+                            "frflags x7 # lint: ignore ")
+    program = assemble(source, name="ignored")
+    assert not optimize_program(program).changed
+    assert optimize_program(program, honor_ignores=False).changed
+
+
+def test_unprovable_findings_are_reported_not_dropped():
+    program = _example("hoistable_flush.s")
+    result = optimize_program(program, rules=("L001",))
+    assert not result.changed
+    assert result.skipped
+    assert "really used" in result.skipped[0].reason
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(ValueError):
+        optimize_program(_example("dead_store.s"), rules=("L999",))
+
+
+# -- imagick end-to-end ------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def imagick_opt():
+    workload = build_imagick(optimized=False, pixels=60,
+                             morph_iters=40)
+    return workload, optimize_program(workload.program)
+
+
+def test_imagick_optimizer_matches_paper_fix(imagick_opt):
+    workload, result = imagick_opt
+    assert len(result.applied) == 2
+    assert {a.certificate.rewrite for a in result.applied} == \
+        {"nop-flush-pair"}
+    assert {a.certificate.function for a in result.applied} == \
+        {"ceil", "floor"}
+    ops = [i.op.value for i in result.program.instructions]
+    assert "frflags" not in ops and "fsflags" not in ops
+    # Same layout as the hand-optimized sibling: the 4 CSR slots nop.
+    hand = build_imagick(optimized=True, pixels=60,
+                         morph_iters=40).program
+    assert [(i.op, i.addr) for i in result.program.instructions] == \
+        [(i.op, i.addr) for i in hand.instructions]
+
+
+def test_imagick_lint_clean_after_optimize(imagick_opt):
+    _, result = imagick_opt
+    report = lint_program(result.program)
+    assert report.by_rule("L001") == []
+    assert report.by_rule("L012") == []
+
+
+def test_imagick_differential_identical(imagick_opt):
+    workload, result = imagick_opt
+    report = diff_architectural(workload.program, result.program,
+                                trials=3)
+    assert report.identical, report.render()
+    assert report.instructions_original == \
+        report.instructions_transformed
+
+
+def test_sibling_verification_memoized():
+    from repro.workloads import imagick as im
+    im.build_imagick(pixels=12, morph_iters=6)
+    assert (12, 6, 42) in im._VERIFIED_SIBLINGS
+
+
+def test_sibling_verification_rejects_divergence():
+    from repro.workloads import imagick as im
+    orig = im._build_program(False, 12, 6, 42)
+    broken = im._build_program(True, 12, 6, 43)  # different data
+    with pytest.raises(ValueError, match="diverge"):
+        im._verify_siblings(orig, broken, (-1, -1, -1))
+    assert (-1, -1, -1) not in im._VERIFIED_SIBLINGS
+
+
+# -- suite sweep -------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["exchange2", "lbm", "imagick"])
+def test_suite_sweep_is_sound(name):
+    """Sweeping generated suite workloads never breaks them: whatever
+    the optimizer proves (usually nothing -- the generators are clean
+    by construction) stays architecturally identical."""
+    from repro.workloads.suite import build_suite
+    (workload,) = build_suite([name], scale=0.05)
+    result = optimize_program(workload.program)
+    if result.changed:
+        assert diff_architectural(workload.program, result.program,
+                                  trials=2).identical
+    else:
+        assert result.program is workload.program
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_optimize_example(tmp_path, capsys):
+    out = tmp_path / "opt.s"
+    report = tmp_path / "report.json"
+    code = main(["optimize", str(EXAMPLES / "hoistable_flush.s"),
+                 "--no-measure", "-o", str(out),
+                 "--report", str(report)])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "hoist-invariant-flush" in stdout
+    assert "identical" in stdout
+    # The emitted assembly reassembles and matches architecturally.
+    original = _example("hoistable_flush.s")
+    again = assemble(out.read_text(), name="again")
+    assert diff_architectural(original, again, trials=2).identical
+    payload = json.loads(report.read_text())
+    (applied,) = payload["optimization"]["applied"]
+    assert applied["rewrite"] == "hoist-invariant-flush"
+    assert applied["facts"]
+    assert payload["differential"]["identical"]
+
+
+def test_cli_optimize_min_speedup_gate(tmp_path):
+    source = tmp_path / "clean.s"
+    source.write_text("""
+.entry main
+.func main
+main:
+    halt
+""")
+    # Nothing to optimize: no measurement, no failure.
+    assert main(["optimize", str(source),
+                 "--min-speedup", "99"]) == 0
+
+
+def test_cli_optimize_unknown_target(capsys):
+    assert main(["optimize", "no-such-thing"]) == 2
+    assert "unknown target" in capsys.readouterr().err
+
+
+def test_cli_optimize_json(capsys):
+    code = main(["optimize", str(EXAMPLES / "dead_store.s"),
+                 "--no-measure", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["optimization"]["applied"]
