@@ -34,6 +34,15 @@ Commands
 ``cache stats|clear|verify``
     Inspect, empty or checksum-verify the simulation cache
     (``~/.cache/repro`` or ``--cache-dir``/``$REPRO_CACHE_DIR``).
+``serve``
+    Run the profiling job server: a long-lived asyncio HTTP/JSON
+    daemon that coalesces duplicate submissions by content key, runs
+    misses on worker processes with timeout/retry/cancel, and streams
+    NDJSON progress events to any number of clients.
+``submit TARGET --server HOST:PORT``
+    Submit an assembly file, suite benchmark or the imagick case study
+    to a running server and wait for (or stream) the report;
+    ``--stats`` prints the server's queue/cache/worker health.
 ``lint TARGET...``
     Statically lint assembly files, directories or benchmark names.
 ``optimize TARGET``
@@ -543,6 +552,129 @@ def cmd_optimize(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ProfileServer
+    enabled = args.cache if args.cache is not None else True
+    cache = (args.cache_dir or True) if enabled else None
+    server = ProfileServer(host=args.host, port=args.port,
+                           workers=args.workers, retries=args.retries,
+                           cache=cache, job_timeout=args.job_timeout)
+
+    async def _main() -> None:
+        host, port = await server.start()
+        state = "on" if server.cache is not None else "off"
+        print(f"serving on http://{host}:{port} "
+              f"({args.workers} worker(s), cache {state})", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def _submit_spec(args):
+    """Build the JobSpec for a submit target (None if unresolvable)."""
+    from .parallel import ProgramSpec
+    from .serve import JobSpec
+    mode = "random" if args.random else "periodic"
+    common = dict(period=args.period, mode=mode)
+    if os.path.isfile(args.target):
+        with open(args.target) as handle:
+            source = handle.read()
+        spec = JobSpec.for_source(source, name=args.target,
+                                  premap_all=args.map_all, **common)
+    elif args.target in ("imagick-orig", "imagick-opt"):
+        from .serve.jobs import _default_profilers
+        program = ProgramSpec(kind="imagick", name=args.target,
+                              optimized=args.target.endswith("-opt"))
+        spec = JobSpec(program=program,
+                       profilers=_default_profilers(**common))
+    elif args.target in BENCHMARKS:
+        spec = JobSpec.for_benchmark(args.target, scale=args.scale,
+                                     **common)
+    else:
+        return None
+    if args.max_cycles is not None or args.job_timeout is not None:
+        from dataclasses import replace
+        spec = replace(
+            spec,
+            max_cycles=(args.max_cycles if args.max_cycles is not None
+                        else spec.max_cycles),
+            timeout=args.job_timeout)
+    return spec
+
+
+def cmd_submit(args) -> int:
+    """Exit codes: 0 report received, 1 job failed/cancelled,
+    2 usage/connection error."""
+    from .serve import ClientError, JobFailed, ServeClient
+    try:
+        client = ServeClient.from_address(args.server)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.cancel:
+            reply = client.cancel(args.cancel)
+            print(f"{reply['job']}: {reply['state']}")
+            return 0
+        if not args.target:
+            print("submit: a TARGET (or --stats/--cancel) is required",
+                  file=sys.stderr)
+            return 2
+        spec = _submit_spec(args)
+        if spec is None:
+            print(f"unknown target {args.target!r} (not a file, suite "
+                  f"benchmark, or imagick-orig/imagick-opt)",
+                  file=sys.stderr)
+            return 2
+        job, coalesced = client.submit(spec)
+        note = " (coalesced onto an in-flight duplicate)" \
+            if coalesced else ""
+        print(f"job {job}{note}", file=sys.stderr)
+        if args.no_wait:
+            print(job)
+            return 0
+        if args.stream:
+            for event in client.stream(job):
+                print(json.dumps(event, sort_keys=True),
+                      file=sys.stderr)
+        info = client.wait(job, timeout=args.timeout)
+    except JobFailed as exc:  # includes JobCancelled
+        print(str(exc), file=sys.stderr)
+        return 1
+    except (ClientError, TimeoutError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot reach server {args.server}: {exc}",
+              file=sys.stderr)
+        return 2
+    for warning in info.get("warnings", ()):
+        print(f"warning: {warning}", file=sys.stderr)
+    report = info["report"]
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    stats = report.get("stats") or {}
+    cached = " (simulation cache hit)" if report.get("cached") else ""
+    print(f"{stats.get('committed', '?')} instructions, "
+          f"{stats.get('cycles', '?')} cycles, "
+          f"IPC {report.get('ipc') or 0.0:.2f}{cached}\n")
+    if "sanitizer" in report:
+        print(report["sanitizer"] + "\n")
+    errors = {args.target: report["errors"]["instruction"]}
+    print(render_error_table(errors, title="instruction error"))
+    return 0
+
+
 def cmd_overhead(_args) -> int:
     summary = summarize(CoreConfig.boom_4wide())
     print(f"profiler storage:       {summary.storage_bytes} B")
@@ -604,6 +736,59 @@ def build_parser() -> argparse.ArgumentParser:
     overhead = sub.add_parser("overhead",
                               help="Section 3.2 overhead summary")
     overhead.set_defaults(func=cmd_overhead)
+
+    serve = sub.add_parser(
+        "serve", help="run the profiling job server",
+        description="Long-running asyncio HTTP/JSON daemon: coalesces "
+                    "duplicate submissions by content key, runs misses "
+                    "on worker processes, streams NDJSON progress. "
+                    "The simulation cache is ON by default here "
+                    "(--no-cache to disable).")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8763,
+                       help="listen port (0 = ephemeral; default 8763)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent worker processes")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="extra attempts for a crashed/hung worker")
+    serve.add_argument("--job-timeout", type=float, default=600.0,
+                       help="default per-job wall-clock budget (s)")
+    _add_cache(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running server",
+        description="TARGET is an assembly file, a suite benchmark "
+                    "name, or imagick-orig/imagick-opt.")
+    submit.add_argument("target", nargs="?",
+                        help="assembly file, benchmark name, or "
+                             "imagick-orig/imagick-opt")
+    submit.add_argument("--server", required=True,
+                        metavar="HOST:PORT")
+    submit.add_argument("--scale", type=float, default=0.5,
+                        help="benchmark scale (named benchmarks)")
+    submit.add_argument("--map-all", action="store_true",
+                        help="premap the whole data address space "
+                             "(assembly files)")
+    submit.add_argument("--max-cycles", type=int, default=None)
+    submit.add_argument("--job-timeout", type=float, default=None,
+                        help="server-side wall-clock budget for this "
+                             "job (seconds)")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="client-side wait budget (seconds)")
+    submit.add_argument("--stream", action="store_true",
+                        help="print NDJSON progress events to stderr "
+                             "while waiting")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and exit immediately")
+    submit.add_argument("--json", action="store_true",
+                        help="print the raw JSON report")
+    submit.add_argument("--stats", action="store_true",
+                        help="print the server's /stats and exit")
+    submit.add_argument("--cancel", metavar="JOB",
+                        help="cancel a job instead of submitting")
+    _add_common(submit)
+    submit.set_defaults(func=cmd_submit)
 
     record = sub.add_parser("record", help="record a commit-stage trace")
     record.add_argument("file")

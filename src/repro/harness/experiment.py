@@ -25,7 +25,7 @@ from ..cpu.config import CoreConfig
 from ..cpu.core import CoreStats
 from ..cpu.machine import Machine
 from ..isa.program import Program
-from ..lint.sanitizer import TraceSanitizer
+from ..lint.sanitizer import TraceInvariantError, TraceSanitizer
 
 #: Policy name -> constructor(schedule, program).
 POLICIES = {
@@ -199,8 +199,31 @@ def run_experiment(program: Program,
         if hit is not None:
             observers = ([sanitizer] if sanitizer is not None else []) \
                 + [oracle] + list(built.values())
-            replay_with_engine(hit.trace_path, observers,
-                               engine=BLOCK_ENGINE)
+            try:
+                replay_with_engine(hit.trace_path, observers,
+                                   engine=BLOCK_ENGINE)
+            except (TraceInvariantError, MemoryError):
+                raise
+            except Exception as exc:
+                # The entry passed its checksum but does not decode
+                # (foreign producer, consistent tampering, or the entry
+                # was swapped underneath us after verification).  Evict
+                # it, warn, and fall back to a fresh simulation with
+                # pristine observers -- never a bare traceback.
+                import warnings
+
+                from ..simfast.cache import CacheCorruptionWarning
+                sim_cache.evict(key)
+                warnings.warn(
+                    f"evicted corrupt simulation-cache entry "
+                    f"{key[:12]}... ({exc}); re-simulating",
+                    CacheCorruptionWarning, stacklevel=2)
+                return run_experiment(
+                    program, profilers, config=config,
+                    premapped_data=premapped_data,
+                    max_cycles=max_cycles, sanitize=sanitize,
+                    engine=engine, sim=sim, paranoid=paranoid,
+                    cache=sim_cache)
             # Replay reports the last record's cycle; the simulator
             # reports the cycle after it (same fixup as replay_serial).
             oracle.report.total_cycles = hit.stats.cycles

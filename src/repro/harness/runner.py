@@ -112,7 +112,8 @@ def run_suite(workloads: Optional[Sequence[Workload]] = None,
               engine: str = "cycle",
               sim: str = "step",
               paranoid: bool = False,
-              cache=None) -> SuiteResult:
+              cache=None,
+              server: Optional[str] = None) -> SuiteResult:
     """Run the whole suite (or the given workloads).
 
     *engine* selects how serially-run profilers consume the live trace
@@ -135,11 +136,23 @@ def run_suite(workloads: Optional[Sequence[Workload]] = None,
     *max_cycles* is recorded as a ``"max-cycles"``
     :class:`~repro.parallel.pool.JobFailure` instead of aborting the
     whole suite (and is never cached).
+
+    *server* (``"host:port"``) routes named benchmarks through a
+    running ``repro serve`` daemon instead of simulating locally:
+    the sweep becomes a set of job-server clients, duplicate work
+    coalesces server-side, and results are bit-identical to a local
+    run (:func:`repro.serve.run_suite_via_server`).
     """
     if workloads is None:
         workloads = build_suite(scale=scale)
     if profilers is None:
         profilers = default_profilers(period, policies=policies)
+    if server is not None:
+        from ..serve.client import run_suite_via_server
+        return run_suite_via_server(
+            workloads, profilers, server, scale=scale,
+            max_cycles=max_cycles, sanitize=sanitize,
+            timeout=timeout, sim=sim, verbose=verbose)
     if jobs > 1:
         from ..parallel.suite import (DEFAULT_JOB_TIMEOUT,
                                       run_suite_parallel)

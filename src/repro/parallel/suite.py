@@ -65,10 +65,17 @@ def simulate_benchmark(name: str, scale: float,
     }
 
 
-def _rebuild_result(workload: Workload,
-                    configs: Sequence[ProfilerConfig],
-                    payload: dict) -> ExperimentResult:
-    """Reconstruct an ExperimentResult from a worker payload."""
+def rebuild_result(workload: Workload,
+                   configs: Sequence[ProfilerConfig],
+                   payload: dict) -> ExperimentResult:
+    """Reconstruct an ExperimentResult from a worker payload.
+
+    The payload shape is shared by :func:`simulate_benchmark` and the
+    job server's workers (:func:`repro.serve.jobs.result_payload`):
+    the Oracle report, core statistics and per-profiler snapshots,
+    rebuilt around a freshly booted image so downstream analysis is
+    unchanged and bit-identical.
+    """
     if "invariant_violation" in payload:
         raise TraceInvariantError(payload["invariant_violation"])
     from ..kernel import Kernel
@@ -143,7 +150,7 @@ def run_suite_parallel(workloads: Sequence[Workload],
                 job.name, "max-cycles", 1,
                 payload["max_cycles_exceeded"])
             continue
-        results[job.name] = _rebuild_result(
+        results[job.name] = rebuild_result(
             by_name[job.name], configs, payload)
     for workload in serial:
         if verbose:

@@ -1,0 +1,124 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams (stdlib only).
+
+The job server speaks just enough HTTP for its JSON endpoints and the
+NDJSON event stream: one request per connection (``Connection: close``),
+bodies delimited by ``Content-Length``, streams delimited by EOF.  This
+keeps the parser ~50 lines and the failure modes obvious; clients are
+``http.client`` or anything speaking HTTP/1.0+.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Cap on request bodies (a job spec with a large program source).
+MAX_BODY_BYTES = 16 << 20
+
+#: Cap on the request line + each header line.
+MAX_LINE_BYTES = 64 << 10
+
+STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 409: "Conflict",
+    413: "Payload Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(ValueError):
+    """The client sent something we refuse to parse."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from None
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[Request]:
+    """Parse one request; ``None`` on a cleanly closed connection."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise BadRequest("request line too long")
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise BadRequest("malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        if len(header) > MAX_LINE_BYTES:
+            raise BadRequest("header line too long")
+        name, sep, value = header.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header {name.strip()!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequest("bad Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise BadRequest("unacceptable Content-Length")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("truncated request body") from None
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+    return Request(method=method, path=split.path, query=query,
+                   headers=headers, body=body)
+
+
+def response_bytes(status: int, body: bytes,
+                   content_type: str = "application/json") -> bytes:
+    """A complete Content-Length-delimited response."""
+    head = (f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, payload) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return response_bytes(status, body)
+
+
+def stream_head(status: int = 200,
+                content_type: str = "application/x-ndjson") -> bytes:
+    """Headers for an EOF-delimited stream (no Content-Length)."""
+    return (f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+
+
+def ndjson_line(event: dict) -> bytes:
+    return (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")

@@ -18,10 +18,12 @@ traces and the same profiler reports, floating point included.
 """
 
 from .bench import render_sim_bench, run_sim_bench
-from .cache import (DEFAULT_CACHE_BYTES, CacheHit, SimCache,
-                    default_cache_root, resolve_cache)
+from .cache import (DEFAULT_CACHE_BYTES, CacheCorruptionWarning, CacheHit,
+                    SimCache, default_cache_root, resolve_cache,
+                    simulation_key)
 
 __all__ = [
-    "CacheHit", "DEFAULT_CACHE_BYTES", "SimCache", "default_cache_root",
-    "render_sim_bench", "resolve_cache", "run_sim_bench",
+    "CacheCorruptionWarning", "CacheHit", "DEFAULT_CACHE_BYTES",
+    "SimCache", "default_cache_root", "render_sim_bench",
+    "resolve_cache", "run_sim_bench", "simulation_key",
 ]

@@ -50,6 +50,19 @@ DEFAULT_CACHE_BYTES = 1 << 30
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 
+class CacheCorruptionWarning(UserWarning):
+    """A cache entry passed its checksum but could not be replayed.
+
+    The checksum guards byte integrity, not decodability: an entry
+    written by a different producer, tampered with consistently
+    (trace and sidecar together), or swapped underneath us between
+    checksum verification and replay can still fail to decode.  The
+    harness evicts such entries, emits this warning (printed to stderr
+    by the default warning filters) and falls back to a fresh
+    simulation instead of surfacing a bare traceback.
+    """
+
+
 def default_cache_root() -> str:
     env = os.environ.get(ENV_CACHE_DIR)
     if env:
@@ -88,6 +101,26 @@ def config_digest(config: CoreConfig) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def simulation_key(program: Program, config: CoreConfig,
+                   premapped: Optional[Sequence[Tuple[int, int]]] = None,
+                   schedule: Optional[Tuple] = None) -> str:
+    """Content key of a run (module-level form of ``SimCache.key_for``).
+
+    *schedule* carries the core-side sampling-interrupt parameters
+    (period, mode, seed) when one is attached, ``None`` otherwise;
+    replay-side profiler schedules never enter the key because they do
+    not influence the trace.  The job server uses this to coalesce
+    duplicate submissions without instantiating a cache.
+    """
+    h = hashlib.sha256()
+    h.update(program_digest(program, premapped).encode())
+    h.update(config_digest(config).encode())
+    h.update(repr(("schedule", schedule)).encode())
+    h.update(repr(("format", TRACE_FORMAT_VERSION)).encode())
+    h.update(repr(("repro", __version__)).encode())
+    return h.hexdigest()
+
+
 @dataclass
 class CacheHit:
     """A verified cache entry ready for block-engine replay."""
@@ -118,13 +151,7 @@ class SimCache:
         replay-side profiler schedules never enter the key because they
         do not influence the trace.
         """
-        h = hashlib.sha256()
-        h.update(program_digest(program, premapped).encode())
-        h.update(config_digest(config).encode())
-        h.update(repr(("schedule", schedule)).encode())
-        h.update(repr(("format", TRACE_FORMAT_VERSION)).encode())
-        h.update(repr(("repro", __version__)).encode())
-        return h.hexdigest()
+        return simulation_key(program, config, premapped, schedule)
 
     def _trace_path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.trace")

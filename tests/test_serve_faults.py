@@ -1,0 +1,181 @@
+"""Fault-injection tests: the server under worker crashes, hangs,
+slow starts, per-job timeouts and client disconnects.
+
+All faults are injected through :class:`repro.serve.testing.FaultyPool`
+-- real worker processes that really die or hang -- so these tests
+verify the daemon's isolation story, not a mock of it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from dataclasses import replace
+
+import pytest
+from conftest import COUNT_LOOP
+
+from repro.serve import JobSpec
+from repro.serve.client import JobFailed
+from repro.serve.testing import Fault, FaultyPool, running_server
+
+
+def loop_spec(n: int = 40, **kwargs) -> JobSpec:
+    return JobSpec.for_source(COUNT_LOOP.format(n=n),
+                              name=f"loop{n}.s", period=7,
+                              policies=("TIP",), **kwargs)
+
+
+def wait_until(predicate, timeout: float = 30.0,
+               interval: float = 0.05) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def test_crash_on_first_attempt_retries_to_success():
+    pool = FaultyPool(workers=1, retries=1,
+                      faults=(Fault("crash",
+                                    attempts=frozenset({0})),))
+    with running_server(pool=pool, cache=None) as handle:
+        client = handle.client()
+        info = client.submit_and_wait(loop_spec(), timeout=120)
+        events = list(client.stream(info["job"]))
+    assert info["state"] == "done" and info["report"] is not None
+    assert info["attempts"] == 2
+    kinds = [event["event"] for event in events]
+    assert kinds == ["queued", "running", "retry", "running", "done"]
+    retry = next(e for e in events if e["event"] == "retry")
+    assert retry["cause"] == "crash"
+    assert pool.crashes == 1 and pool.injected[0][2] == "crash"
+
+
+def test_persistent_crash_reports_error_to_all_waiters():
+    pool = FaultyPool(workers=1, retries=1,
+                      faults=(Fault("crash"),))
+    spec = loop_spec(n=50)
+    failures = [None, None]
+
+    with running_server(pool=pool, cache=None) as handle:
+
+        def waiter(i: int) -> None:
+            client = handle.client(timeout=120)
+            job = client.submit(spec)[0]
+            try:
+                client.wait(job, timeout=120)
+            except JobFailed as exc:
+                failures[i] = exc
+
+        threads = [threading.Thread(target=waiter, args=(i,))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        stats = handle.client().stats()
+
+        # The failed key was released: fixing the fault and
+        # resubmitting gets a fresh, successful run.
+        pool.faults.clear()
+        client = handle.client()
+        job2 = client.submit(spec)[0]
+        assert client.wait(job2, timeout=120)["state"] == "done"
+
+    for failure in failures:
+        assert isinstance(failure, JobFailed)
+        assert failure.error["kind"] == "crash"
+        assert failure.error["attempts"] == 2
+    assert failures[0].job == failures[1].job
+    assert stats["jobs"]["error"] == 1
+    assert stats["dedup"]["coalesced"] == 1
+
+
+def test_job_timeout_kills_the_hung_worker():
+    pool = FaultyPool(workers=1, retries=0, faults=(Fault("hang"),))
+    spec = replace(loop_spec(), timeout=1.0)
+    with running_server(pool=pool, cache=None) as handle:
+        client = handle.client()
+        job = client.submit(spec)[0]
+        with pytest.raises(JobFailed) as failed:
+            client.wait(job, timeout=60)
+        assert wait_until(lambda: pool.active == 0)
+    assert failed.value.error["kind"] == "timeout"
+    assert pool.timeouts == 1
+    assert pool.spawned == 1  # the worker really started, then died
+
+
+def test_cancel_kills_the_inflight_worker():
+    pool = FaultyPool(workers=1, retries=0, faults=(Fault("hang"),))
+    with running_server(pool=pool, cache=None) as handle:
+        client = handle.client()
+        job = client.submit(loop_spec(n=60))[0]
+        # Let the worker actually start before cancelling it.
+        assert wait_until(lambda: pool.active == 1)
+        reply = client.cancel(job)
+        assert reply["cancelled"] and reply["state"] == "cancelled"
+        assert wait_until(lambda: pool.active == 0)
+    assert pool.cancelled == 1
+
+
+def test_slow_start_fault_delays_but_completes():
+    pool = FaultyPool(workers=1,
+                      faults=(Fault("slow-start", delay=0.4),))
+    with running_server(pool=pool, cache=None) as handle:
+        client = handle.client()
+        start = time.monotonic()
+        info = client.submit_and_wait(loop_spec(n=20), timeout=120)
+        elapsed = time.monotonic() - start
+    assert info["state"] == "done"
+    assert elapsed >= 0.4
+    assert pool.injected == [(info["job"], 0, "slow-start")]
+
+
+def test_client_disconnect_mid_stream_leaks_nothing():
+    pool = FaultyPool(workers=1,
+                      faults=(Fault("slow-start", delay=1.5),))
+    spec = loop_spec(n=30)
+    with running_server(pool=pool, cache=None) as handle:
+        client = handle.client()
+        job = client.submit(spec)[0]
+        # Open a raw event stream, read the first event, hang up.
+        conn = http.client.HTTPConnection(*handle.address, timeout=30)
+        conn.request("GET", f"/jobs/{job}/events")
+        response = conn.getresponse()
+        assert response.status == 200
+        first = response.readline()
+        assert b'"queued"' in first
+        server = handle.server
+        assert wait_until(lambda: server.streams_open == 1)
+        conn.close()
+
+        # The abandoned stream unwinds; the job is unaffected and
+        # still runs to completion for the patient client.
+        assert wait_until(lambda: server.streams_open == 0)
+        info = client.wait(job, timeout=120)
+        assert info["state"] == "done"
+        stats = handle.client().stats()
+    assert stats["streams"]["open"] == 0
+    assert stats["streams"]["served"] >= 1
+    # The only open connection is the /stats request itself.
+    assert stats["connections"]["open"] == 1
+
+
+def test_faults_can_target_specific_jobs():
+    spec_ok = loop_spec(n=21)
+    spec_bad = loop_spec(n=22)
+    from repro.serve import job_key
+    bad_id_prefix = job_key(spec_bad)[1][:12]
+    pool = FaultyPool(workers=2, retries=0,
+                      faults=(Fault("crash", match=bad_id_prefix),))
+    with running_server(pool=pool, cache=None) as handle:
+        client = handle.client()
+        ok_job = client.submit(spec_ok)[0]
+        bad_job = client.submit(spec_bad)[0]
+        assert client.wait(ok_job, timeout=120)["state"] == "done"
+        with pytest.raises(JobFailed):
+            client.wait(bad_job, timeout=120)
+    assert [entry[0] for entry in pool.injected] == [bad_job]

@@ -288,3 +288,74 @@ def test_cli_cache_subcommand(tmp_path, capsys):
     assert main(["cache", "clear", "--cache-dir", root]) == 0
     out = capsys.readouterr().out
     assert "0 entries" in out
+
+
+# -- corrupt-entry recovery ---------------------------------------------------
+
+
+def _forge_corrupt_entry(cache: SimCache, key: str) -> None:
+    """Make *key*'s trace undecodable while keeping its checksum valid
+    (a consistently-tampered or foreign-producer entry)."""
+    import hashlib
+    import json as jsonlib
+    garbage = b"NOTATRACE" + os.urandom(256)
+    with open(cache._trace_path(key), "wb") as fh:
+        fh.write(garbage)
+    with open(cache._meta_path(key), encoding="utf-8") as fh:
+        meta = jsonlib.load(fh)
+    meta["sha256"] = hashlib.sha256(garbage).hexdigest()
+    with open(cache._meta_path(key), "w", encoding="utf-8") as fh:
+        jsonlib.dump(meta, fh)
+
+
+def test_checksum_valid_corrupt_entry_recovers(tmp_path):
+    from repro.simfast import CacheCorruptionWarning
+    workload = build_suite(["lbm"], scale=0.05)[0]
+    configs = default_profilers(29, policies=("TIP",))
+    cache = SimCache(str(tmp_path))
+    pristine = run_workload(workload, configs, sim="fast",
+                            cache=cache)
+    key, = cache.keys()
+    _forge_corrupt_entry(cache, key)
+    assert cache.lookup(key) is not None  # checksum still passes
+
+    with pytest.warns(CacheCorruptionWarning, match="evicted corrupt"):
+        recovered = run_workload(workload, configs, sim="fast",
+                                 cache=cache)
+    assert not recovered.cached  # the hit was abandoned, re-simulated
+    assert recovered.stats.to_dict() == pristine.stats.to_dict()
+    assert recovered.errors() == pristine.errors()
+    # The entry was re-filled and verifies again.
+    assert cache.verify() == {key: True}
+
+
+def test_cli_profile_corrupt_cache_warns_on_stderr(tmp_path):
+    """A corrupt entry must surface as a warning, not a traceback."""
+    import subprocess
+    import sys
+    source = tmp_path / "prog.s"
+    source.write_text("""
+.func main
+    addi x1, x0, 0
+    addi x2, x0, 200
+loop:
+    addi x1, x1, 1
+    bne  x1, x2, loop
+    halt
+""")
+    root = tmp_path / "cache"
+    argv = [sys.executable, "-m", "repro.cli", "profile", str(source),
+            "--period", "7", "--cache-dir", str(root)]
+    first = subprocess.run(argv, capture_output=True, text=True)
+    assert first.returncode == 0, first.stderr
+
+    cache = SimCache(str(root))
+    key, = cache.keys()
+    _forge_corrupt_entry(cache, key)
+
+    second = subprocess.run(argv, capture_output=True, text=True)
+    assert second.returncode == 0, second.stderr
+    assert "CacheCorruptionWarning" in second.stderr
+    assert "evicted corrupt simulation-cache entry" in second.stderr
+    assert "Traceback" not in second.stderr
+    assert "instruction profile" in second.stdout
