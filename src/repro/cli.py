@@ -231,7 +231,7 @@ def cmd_imagick(args) -> int:
 
 
 def cmd_record(args) -> int:
-    from .cpu import Machine, TraceWriter, TraceWriterV2
+    from .cpu import Machine, TraceWriter, TraceWriterV2, TraceWriterV3
     with open(args.file) as handle:
         program = assemble(handle.read(), name=args.file)
     premapped = [(0, 1 << 28)] if args.map_all else None
@@ -246,11 +246,13 @@ def cmd_record(args) -> int:
             machine.attach(TraceWriter(out, machine.config.rob_banks))
             stats = machine.run(sim=args.sim, paranoid=args.paranoid)
     else:
-        # Path mode: the v2 writer is atomic -- a killed run never
-        # leaves a truncated trace at the destination.
-        writer = TraceWriterV2(args.output, machine.config.rob_banks,
-                               chunk_cycles=args.chunk_cycles,
-                               compress=args.compress)
+        # Path mode: the chunked writers are atomic -- a killed run
+        # never leaves a truncated trace at the destination.
+        writer_cls = TraceWriterV2 if args.format == "v2" \
+            else TraceWriterV3
+        writer = writer_cls(args.output, machine.config.rob_banks,
+                            chunk_cycles=args.chunk_cycles,
+                            compress=args.compress)
         machine.attach(writer)
         try:
             stats = machine.run(sim=args.sim, paranoid=args.paranoid)
@@ -298,11 +300,12 @@ def cmd_replay(args) -> int:
 
 
 def cmd_convert_trace(args) -> int:
-    from .cpu import convert_v1_to_v2
-    records = convert_v1_to_v2(args.trace, args.output,
-                               chunk_cycles=args.chunk_cycles,
-                               compress=args.compress)
-    print(f"converted {records} records to {args.output} [v2]")
+    from .cpu import convert_trace
+    version = int(args.to[1:])
+    records = convert_trace(args.trace, args.output, version=version,
+                            chunk_cycles=args.chunk_cycles,
+                            compress=args.compress)
+    print(f"converted {records} records to {args.output} [{args.to}]")
     return 0
 
 
@@ -794,14 +797,16 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("file")
     record.add_argument("-o", "--output", default="trace.tiptrace")
     record.add_argument("--map-all", action="store_true")
-    record.add_argument("--format", default="v2", choices=["v1", "v2"],
-                        help="trace format (v2 is chunk-indexed and "
-                             "supports sharded replay; default)")
+    record.add_argument("--format", default="v3",
+                        choices=["v1", "v2", "v3"],
+                        help="trace format (v3 is columnar and replays "
+                             "zero-copy via mmap; default)")
     record.add_argument("--chunk-cycles", type=int,
                         default=DEFAULT_CHUNK_CYCLES,
-                        help="records per v2 chunk")
+                        help="records per v2/v3 chunk")
     record.add_argument("--compress", action="store_true",
-                        help="zlib-compress v2 chunk payloads")
+                        help="zlib-compress v2/v3 chunk payloads "
+                             "(disables zero-copy v3 replay)")
     _add_sanitize(record)
     _add_sim(record)
     record.set_defaults(func=cmd_record)
@@ -816,7 +821,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=[g.value for g in Granularity])
     replay.add_argument("--jobs", type=int, default=1,
                         help="shard the replay over N worker processes "
-                             "(v2 traces; bit-identical to serial)")
+                             "(v2/v3 traces; bit-identical to serial)")
     replay.add_argument("--engine", default="block",
                         choices=["cycle", "block"],
                         help="trace consumption engine: columnar "
@@ -827,9 +832,14 @@ def build_parser() -> argparse.ArgumentParser:
     replay.set_defaults(func=cmd_replay)
 
     convert = sub.add_parser(
-        "convert-trace", help="re-encode a v1 trace as chunk-indexed v2")
+        "convert-trace",
+        help="re-encode a trace in another format version "
+             "(v1/v2 -> v3 upgrades, v3 -> v2 downgrades, ...)")
     convert.add_argument("trace")
     convert.add_argument("-o", "--output", required=True)
+    convert.add_argument("--to", default="v3",
+                         choices=["v1", "v2", "v3"],
+                         help="target format version (default v3)")
     convert.add_argument("--chunk-cycles", type=int,
                          default=DEFAULT_CHUNK_CYCLES)
     convert.add_argument("--compress", action="store_true")

@@ -20,7 +20,7 @@ family (Section 5):
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
 from typing import Optional
 
 from ..cpu.trace import CycleRecord
@@ -116,9 +116,8 @@ class DispatchProfiler(SamplingProfiler):
         return None
 
     def _block_scan_resolve(self, block, i: int) -> Optional[int]:
-        with_pc = block.disp_pc_cycles
-        k = bisect_left(with_pc, i)
-        return with_pc[k] if k < len(with_pc) else None
+        r = block.disp_pc_mask.find(1, i)
+        return r if r >= 0 else None
 
     def _block_resolve_outcome(self, block, i: int) -> Outcome:
         return [(block.dispatch_pc_at(i), 1.0)], None
@@ -153,32 +152,31 @@ class LciProfiler(SamplingProfiler):
 
     def _block_attribute(self, block, i: int) -> Optional[Outcome]:
         # _update_state runs before _attribute, so a commit group at the
-        # sampled cycle itself already counts (bisect_right includes i).
-        commits = block.commit_cycles
-        k = bisect_right(commits, i)
-        if k:
-            c = commits[k - 1]
-            return [(block.commit_addr[block.commit_base[c + 1] - 1],
-                     1.0)], None
+        # sampled cycle itself already counts: commit_base[i + 1] is the
+        # number of commits at or before index i, and the youngest of
+        # them sits just below it in the packed commit_addr column.
+        v = block.commit_base[i + 1]
+        if v:
+            return [(block.commit_addr[v - 1], 1.0)], None
         if self._last_committed is not None:
             return [(self._last_committed, 1.0)], None
         return None
 
     def _block_scan_resolve(self, block, i: int) -> Optional[int]:
-        commits = block.commit_cycles
-        k = bisect_left(commits, i)
-        return commits[k] if k < len(commits) else None
+        # First committing record >= i: the first index where the
+        # commit prefix sum rises above its value at i.
+        cb = block.commit_base
+        q = bisect_right(cb, cb[i], i + 1)
+        return q - 1 if q <= block.n else None
 
     def _block_resolve_outcome(self, block, i: int) -> Outcome:
         youngest = block.commit_addr[block.commit_base[i + 1] - 1]
         return [(youngest, 1.0)], None
 
     def _block_update_tail(self, block) -> None:
-        commits = block.commit_cycles
-        if commits:
-            c = commits[-1]
-            self._last_committed = \
-                block.commit_addr[block.commit_base[c + 1] - 1]
+        v = block.commit_base[block.n]
+        if v:
+            self._last_committed = block.commit_addr[v - 1]
 
 
 class NciProfiler(SamplingProfiler):
@@ -206,9 +204,9 @@ class NciProfiler(SamplingProfiler):
         return None
 
     def _block_scan_resolve(self, block, i: int) -> Optional[int]:
-        commits = block.commit_cycles
-        k = bisect_left(commits, i)
-        return commits[k] if k < len(commits) else None
+        cb = block.commit_base
+        q = bisect_right(cb, cb[i], i + 1)
+        return q - 1 if q <= block.n else None
 
     def _block_resolve_outcome(self, block, i: int) -> Outcome:
         return self._block_commit_group(block, i)

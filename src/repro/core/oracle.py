@@ -28,6 +28,7 @@ rises.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..cpu.trace import CycleRecord, TraceObserver
@@ -40,6 +41,18 @@ _FLAG_NONE = 0
 _FLAG_MISPREDICT = 1
 _FLAG_FLUSH = 2
 _FLAG_EXCEPTION = 3
+
+#: Trace wire-format flag bits (mirrors ``repro.cpu.tracefile``), used
+#: by the vectorized block loop to read optional columns in place.
+_WIRE_EMPTY = 1 << 0
+_WIRE_EXC = 1 << 1
+_WIRE_ORD = 1 << 2
+_WIRE_HEAD = 1 << 4
+#: flags byte -> number of optional u64s per record (wire order).
+_WIRE_NOPT = tuple(bin(f & 0b11010).count("1") for f in range(256))
+
+#: Repeated ``+= 1.0`` equals one ``+= count`` only below 2**53.
+_EXACT_LIMIT = float(1 << 53)
 
 #: Key identifying a sampling schedule: (period, mode, seed).
 ScheduleKey = Tuple[int, str, int]
@@ -174,6 +187,48 @@ class _FastAccumulator:
         self.totals[cat_code] += weight
         if flush_code >= 0:
             self.flush[flush_code] += weight
+
+    def add_run(self, addr: int, count: int, cat_code: int,
+                flush_code: int = -1) -> None:
+        """Accumulate *count* unit weights in one step when provably
+        exact.
+
+        A batched ``+= count`` is bit-identical to *count* repeated
+        ``+= 1.0`` exactly when every touched cell holds an integral
+        float and the result stays below 2**53 (integers are closed
+        under float addition in that range).  A cell can be fractional
+        when its address also collected ``1/n`` EXECUTION shares; the
+        run then falls back to the per-unit loop.
+        """
+        slot = self.profile_slot.get(addr)
+        if slot is None:
+            slot = self.profile_slot[addr] = len(self.profile_acc)
+            self.profile_addr.append(addr)
+            self.profile_acc.append(0.0)
+        key = slot * _CAT_STRIDE + cat_code
+        cslot = self.cat_slot.get(key)
+        if cslot is None:
+            cslot = self.cat_slot[key] = len(self.cat_acc)
+            self.cat_code.append(key)
+            self.cat_acc.append(0.0)
+        p = self.profile_acc[slot]
+        c = self.cat_acc[cslot]
+        t = self.totals[cat_code]
+        f = self.flush[flush_code] if flush_code >= 0 else 0.0
+        limit = _EXACT_LIMIT - count
+        if p.is_integer() and c.is_integer() and t.is_integer() \
+                and f.is_integer() and p <= limit and c <= limit \
+                and t <= limit and f <= limit:
+            fcount = float(count)
+            self.profile_acc[slot] = p + fcount
+            self.cat_acc[cslot] = c + fcount
+            self.totals[cat_code] = t + fcount
+            if flush_code >= 0:
+                self.flush[flush_code] = f + fcount
+            return
+        add = self.add
+        for _ in range(count):
+            add(addr, 1.0, cat_code, flush_code)
 
     def flush_into(self, report: "OracleReport") -> None:
         """Fold the scratch into *report* and zero it for reuse."""
@@ -324,9 +379,7 @@ class OracleProfiler(TraceObserver):
                 if code is None:
                     code = _CAT_CODE[stall_category(self.program, head)]
                     self._stall_codes[head] = code
-                add = fast.add
-                for _ in range(count):
-                    add(head, 1.0, code)
+                fast.add_run(head, count, code)
                 return
             category = stall_category(self.program, head)
             weights = [(head, 1.0)]
@@ -351,11 +404,8 @@ class OracleProfiler(TraceObserver):
         addr = self._oir_addr
         kind = self._oir_kind
         if fast is not None:
-            code = _CAT_CODE[category]
-            flush_code = _FLUSH_CODE[kind]
-            add = fast.add
-            for _ in range(count):
-                add(addr, 1.0, code, flush_code)
+            fast.add_run(addr, count, _CAT_CODE[category],
+                         _FLUSH_CODE[kind])
             return
         weights = [(addr, 1.0)]
         for offset in range(count):
@@ -369,47 +419,67 @@ class OracleProfiler(TraceObserver):
                 self._watch.add(cycle)
 
     def on_block(self, block) -> None:
+        """Vectorized columnar attribution (the fast, watch-free path).
+
+        Instead of classifying every record, the loop classifies *runs*:
+        a maximal span of commit-less, exception-free records with a
+        uniform empty bit is located by C-speed ``find`` scans over the
+        flag masks and one ``bisect`` over the commit prefix sums, then
+        attributed with a single batched :meth:`_FastAccumulator.
+        add_run`.  Runs are additionally cut at the next dispatching
+        record whenever that dispatch would resolve a pending front-end
+        drain (so emission order -- and therefore floating-point
+        summation order -- matches the cycle engine exactly).
+        """
         if self._fast is None:
             self._on_block_watch(block)
             return
-        add = self._fast.add
+        fast = self._fast
+        add = fast.add
+        add_run = fast.add_run
         start = block.start_cycle
-        commit_base = block.commit_base
-        commit_addr = block.commit_addr
-        commit_meta = block.commit_meta
-        disp_base = block.disp_base
-        exceptions = block.exception
-        exc_ordering = block.exc_ordering
+        n = block.n
+        cb = block.commit_base
+        ca = block.commit_addr
+        cm = block.commit_meta
+        db = block.disp_base
+        da = block.disp_addr
+        flags_b = block.flags_bytes
+        exc_mask = block.exc_mask
         rob_empty = block.rob_empty
-        rob_head = block.rob_head
+        opt_vals = block.opt_vals
+        opt_base = block.opt_base
         program = self.program
         stall_codes = self._stall_codes
+        pending = self._pending_drain
         execution = _CAT_CODE[Category.EXECUTION]
         mispredict = _CAT_CODE[Category.MISPREDICT]
         misc_flush = _CAT_CODE[Category.MISC_FLUSH]
         flush_code = _FLUSH_CODE
-        for i in range(block.n):
-            if self._pending_drain and \
-                    disp_base[i + 1] > disp_base[i]:
-                self._resolve_drain(block.disp_addr[disp_base[i]])
-            exc = exceptions[i]
-            if exc is not None:
+        i = 0
+        while i < n:
+            if pending and db[i + 1] > db[i]:
+                self._resolve_drain(da[db[i]])
+            if exc_mask[i]:
+                f = flags_b[i]
+                exc = opt_vals[opt_base[i] + ((f >> 4) & 1)]
                 self._oir_addr = exc
                 self._oir_flag = _FLAG_EXCEPTION
-                self._oir_kind = (FlushKind.ORDERING if exc_ordering[i]
+                self._oir_kind = (FlushKind.ORDERING if f & _WIRE_ORD
                                   else FlushKind.EXCEPTION)
                 add(exc, 1.0, misc_flush, flush_code[self._oir_kind])
+                i += 1
                 continue
-            lo, hi = commit_base[i], commit_base[i + 1]
+            lo, hi = cb[i], cb[i + 1]
             if hi > lo:
                 if hi - lo == 1:
-                    add(commit_addr[lo], 1.0, execution)
+                    add(ca[lo], 1.0, execution)
                 else:
                     share = 1.0 / (hi - lo)
                     for k in range(lo, hi):
-                        add(commit_addr[k], share, execution)
-                self._oir_addr = commit_addr[hi - 1]
-                meta = commit_meta[hi - 1]
+                        add(ca[k], share, execution)
+                self._oir_addr = ca[hi - 1]
+                meta = cm[hi - 1]
                 if meta & 0x40:
                     self._oir_flag = _FLAG_MISPREDICT
                     self._oir_kind = FlushKind.MISPREDICT
@@ -419,23 +489,81 @@ class OracleProfiler(TraceObserver):
                 else:
                     self._oir_flag = _FLAG_NONE
                     self._oir_kind = None
+                i += 1
                 continue
-            if not rob_empty[i]:
-                head = rob_head[i]
-                code = stall_codes.get(head)
-                if code is None:
-                    code = _CAT_CODE[stall_category(program, head)]
-                    stall_codes[head] = code
-                add(head, 1.0, code)
+            # Record i commits nothing and has no exception: find the
+            # end of the maximal run that classifies like it.  The OIR
+            # mirror cannot move inside such a run.
+            empty = rob_empty[i]
+            t = exc_mask.find(1, i + 1)
+            if t < 0:
+                t = n
+            flip = rob_empty.find(0 if empty else 1, i + 1, t)
+            if flip >= 0:
+                t = flip
+            q = bisect_right(cb, lo, i + 1, t + 1)
+            if q <= t:
+                t = q - 1  # record q-1 is the first committing record
+            if not empty:
+                # Head-of-ROB stall run.
+                if pending:
+                    d = bisect_right(db, db[i + 1], i + 2, t + 1)
+                    if d <= t:
+                        t = d - 1
+                run = t - i
+                f = flags_b[i]
+                uniform = run == 1 or flags_b.count(f, i, t) == run
+                if uniform and f & _WIRE_HEAD:
+                    step = _WIRE_NOPT[f]
+                    base0 = opt_base[i]
+                    head = opt_vals[base0]
+                    if run > 1:
+                        hv = opt_vals[base0:base0 + step * run:step]
+                        uniform = len(hv) == run and hv[:run - 1] == hv[1:]
+                elif uniform:
+                    head = None
+                if uniform:
+                    code = stall_codes.get(head)
+                    if code is None:
+                        code = _CAT_CODE[stall_category(program, head)]
+                        stall_codes[head] = code
+                    add_run(head, run, code)
+                else:
+                    # Mixed flags or heads inside the span: classify
+                    # record by record, exactly like the cycle engine.
+                    rob_head_at = block.rob_head_at
+                    for j in range(i, t):
+                        head = rob_head_at(j)
+                        code = stall_codes.get(head)
+                        if code is None:
+                            code = _CAT_CODE[stall_category(program,
+                                                            head)]
+                            stall_codes[head] = code
+                        add(head, 1.0, code)
+                i = t
                 continue
             if self._oir_flag == _FLAG_MISPREDICT:
-                add(self._oir_addr, 1.0, mispredict,
-                    flush_code[self._oir_kind])
+                if pending:
+                    d = bisect_right(db, db[i + 1], i + 2, t + 1)
+                    if d <= t:
+                        t = d - 1
+                add_run(self._oir_addr, t - i, mispredict,
+                        flush_code[self._oir_kind])
             elif self._oir_flag in (_FLAG_FLUSH, _FLAG_EXCEPTION):
-                add(self._oir_addr, 1.0, misc_flush,
-                    flush_code[self._oir_kind])
+                if pending:
+                    d = bisect_right(db, db[i + 1], i + 2, t + 1)
+                    if d <= t:
+                        t = d - 1
+                add_run(self._oir_addr, t - i, misc_flush,
+                        flush_code[self._oir_kind])
             else:
-                self._pending_drain.append(start + i)
+                # Front-end drain: park the run; any dispatch inside
+                # the span must resolve it, so cut there.
+                d = bisect_right(db, db[i + 1], i + 2, t + 1)
+                if d <= t:
+                    t = d - 1
+                pending.extend(range(start + i, start + t))
+            i = t
 
     def _on_block_watch(self, block) -> None:
         """Watch-mode columnar replay: per-cycle :meth:`on_cycle`
@@ -568,8 +696,16 @@ class OracleProfiler(TraceObserver):
     # -- internals -------------------------------------------------------------------
 
     def _resolve_drain(self, addr: int) -> None:
-        pending, self._pending_drain = self._pending_drain, []
-        for cycle in pending:
+        # Cleared in place: the block fast path holds an alias.
+        pending = self._pending_drain
+        if self._fast is not None:
+            self._fast.add_run(addr, len(pending),
+                               _CAT_CODE[Category.FRONTEND])
+            pending.clear()
+            return
+        cycles = list(pending)
+        pending.clear()
+        for cycle in cycles:
             self._emit(cycle, [(addr, 1.0)], Category.FRONTEND)
 
     def _emit(self, cycle: int, weights: Attribution,

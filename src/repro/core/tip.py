@@ -111,15 +111,32 @@ class TipProfiler(SamplingProfiler):
     #
     # The OIR mirror is only ever *read* when a sample lands on an
     # empty-ROB cycle, so instead of updating it every cycle the block
-    # path looks up the latest entry of the block's precomputed OIR
-    # update sequence at the sampled index (TIP update semantics are
-    # baked into ``CycleBlock.oir_states``).
+    # path reconstructs the latest OIR update at the sampled index
+    # straight from the columns: the last committing record at or
+    # before *i* (located by bisecting the commit prefix sum) and the
+    # last exception record (located by scanning the exception flag
+    # mask backwards).  A record that both commits and faults updates
+    # the OIR with the commit (``_update_state`` checks commits first),
+    # so a committing exception record never wins as an exception --
+    # which is exactly the ``le > lc`` test below, since a committing
+    # record is always <= the last committing record.
 
     def _oir_at(self, block, i: int):
-        idx, addrs, flags = block.oir_states
-        k = bisect_right(idx, i)
-        if k:
-            return addrs[k - 1], flags[k - 1]
+        cb = block.commit_base
+        v = cb[i + 1]
+        lc = bisect_left(cb, v) - 1 if v else -1
+        le = block.exc_mask.rfind(1, 0, i + 1)
+        if le > lc:
+            return block.exception_at(le), _FLAG_EXCEPTION
+        if lc >= 0:
+            meta = block.commit_meta[v - 1]
+            if meta & 0x40:
+                flag = _FLAG_MISPREDICT
+            elif meta & 0x80:
+                flag = _FLAG_FLUSH
+            else:
+                flag = _FLAG_NONE
+            return block.commit_addr[v - 1], flag
         return self._oir_addr, self._oir_flag
 
     def _block_attribute(self, block, i: int) -> Optional[Outcome]:
@@ -136,19 +153,19 @@ class TipProfiler(SamplingProfiler):
         return None
 
     def _block_scan_resolve(self, block, i: int) -> Optional[int]:
-        disp = block.disp_cycles
-        k = bisect_left(disp, i)
-        return disp[k] if k < len(disp) else None
+        # First dispatching record >= i, via the dispatch prefix sum.
+        db = block.disp_base
+        q = bisect_right(db, db[i], i + 1)
+        return q - 1 if q <= block.n else None
 
     def _block_resolve_outcome(self, block, i: int) -> Outcome:
         first = block.disp_addr[block.disp_base[i]]
         return [(first, 1.0)], Category.FRONTEND
 
     def _block_update_tail(self, block) -> None:
-        idx, addrs, flags = block.oir_states
-        if idx:
-            self._oir_addr = addrs[-1]
-            self._oir_flag = flags[-1]
+        if block.n:
+            self._oir_addr, self._oir_flag = \
+                self._oir_at(block, block.n - 1)
 
     def _block_computing(self, block, i: int) -> Outcome:
         lo, hi = block.commit_base[i], block.commit_base[i + 1]

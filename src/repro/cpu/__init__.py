@@ -9,9 +9,11 @@ from .machine import Machine
 from .trace import (CommittedInst, CycleRecord, HeadEntry, TraceCollector,
                     TraceObserver, replay, shifted_record)
 from .tracefile import (ChunkCarry, ChunkInfo, DEFAULT_CHUNK_CYCLES,
-                        TraceIndex, TraceReaderV2, TraceWriter,
-                        TraceWriterV2, convert_v1_to_v2, read_chunk,
-                        read_index, read_trace, replay_trace)
+                        TraceIndex, TraceReaderV2, TraceReaderV3,
+                        TraceWriter, TraceWriterV2, TraceWriterV3,
+                        convert_trace, convert_v1_to_v2, open_reader,
+                        read_chunk, read_index, read_trace,
+                        replay_trace)
 from .uop import MicroOp, MicroOpPool
 
 __all__ = [
@@ -22,7 +24,8 @@ __all__ = [
     "Machine", "CommittedInst", "CycleRecord", "HeadEntry",
     "TraceCollector", "TraceObserver", "replay", "MicroOp", "MicroOpPool",
     "ChunkCarry", "ChunkInfo", "DEFAULT_CHUNK_CYCLES", "TraceIndex",
-    "TraceReaderV2", "TraceWriter", "TraceWriterV2", "convert_v1_to_v2",
+    "TraceReaderV2", "TraceReaderV3", "TraceWriter", "TraceWriterV2",
+    "TraceWriterV3", "convert_trace", "convert_v1_to_v2", "open_reader",
     "read_chunk", "read_index", "read_trace", "replay_trace",
     "shifted_record",
 ]

@@ -44,23 +44,43 @@ flush kind), the last committed address, and whether the previous cycle
 flushed (for the sanitizer's drain check).  All of it is derivable from
 the trace prefix, so it is computed once at record time.
 
-:func:`convert_v1_to_v2` upgrades existing v1 traces losslessly.
+Format v3 (``TIPTRC03``) is *zero-copy columnar*: each chunk's payload
+is the raw :class:`~repro.fastpath.block.CycleBlock` columns themselves
+(flags bytes, oldest-bank bytes, ``array('I')`` prefix-sum bases,
+packed-u64 optional/commit/dispatch columns and the commit-meta bytes),
+each column 8-byte aligned with a per-column offset table in the chunk
+header.  Decoding a v3 chunk is therefore a handful of ``memoryview``
+casts over an ``mmap`` of the trace file -- no per-record Python loop
+-- and forked shard workers that map the same file share its pages.
+Everything is little-endian on disk; on big-endian hosts the reader
+falls back to ``array.byteswap`` copies.  zlib compression stays
+available as an opt-out that falls back to buffer copies.
+
+:func:`convert_v1_to_v2` upgrades existing v1 traces losslessly;
+:func:`convert_trace` re-encodes any version into any other (v1/v2/v3
+round trips are byte-identical for matching chunk parameters).
 """
 
 from __future__ import annotations
 
 import io
+import mmap
 import os
 import struct
+import sys
 import zlib
+from array import array
 from dataclasses import dataclass
-from typing import (BinaryIO, Iterator, List, Optional, Tuple,
-                    Union)
+from typing import (Any, BinaryIO, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from .trace import CommittedInst, CycleRecord, HeadEntry, TraceObserver
 
 MAGIC = b"TIPTRC01"
 MAGIC_V2 = b"TIPTRC02"
+MAGIC_V3 = b"TIPTRC03"
+
+_LITTLE = sys.byteorder == "little"
 
 #: Records per chunk in format v2 (one record per cycle).
 DEFAULT_CHUNK_CYCLES = 4096
@@ -72,6 +92,22 @@ _FILE_HDR_V2 = struct.Struct("<BBI")
 #: v2 chunk header: start_cycle, n_records, payload bytes, raw bytes,
 #: carry flags, oir_flag, oir_kind, oir_addr, last_committed.
 _CHUNK_HDR = struct.Struct("<QIIIBBBQQ")
+#: v3 file header is the v2 header plus 2 pad bytes, so the first
+#: chunk header lands on an 8-byte boundary (16 bytes with the magic).
+_FILE_PAD_V3 = b"\x00\x00"
+#: v3 chunk header (96 bytes, 8-aligned): start_cycle, n_records,
+#: payload bytes (stored size), raw bytes (column-buffer size), carry
+#: flags, oir_flag, oir_kind, pad, oir_addr, last_committed, then the
+#: flattened column lengths (n_opt, n_commit, n_disp) and the 10
+#: per-column byte offsets within the payload (see ``_COL_*``).
+_CHUNK_HDR_V3 = struct.Struct("<QIIIBBBBQQ3I10I4x")
+
+#: v3 column order inside a chunk payload.  u64 columns first, then
+#: the u32 prefix-sum bases, then the byte columns; every column start
+#: is padded to an 8-byte boundary.
+(_COL_FETCH_PC, _COL_OPT_VALS, _COL_COMMIT_ADDR, _COL_DISP_ADDR,
+ _COL_OPT_BASE, _COL_COMMIT_BASE, _COL_DISP_BASE, _COL_FLAGS,
+ _COL_OLDEST, _COL_COMMIT_META) = range(10)
 
 _F_EMPTY = 1 << 0
 _F_EXC = 1 << 1
@@ -153,7 +189,7 @@ class ChunkCarry:
 
 @dataclass
 class ChunkInfo:
-    """Location and metadata of one v2 chunk."""
+    """Location and metadata of one v2/v3 chunk."""
 
     start_cycle: int
     n_records: int
@@ -162,16 +198,22 @@ class ChunkInfo:
     payload_bytes: int
     raw_bytes: int
     carry: ChunkCarry
+    #: v3 only: flattened column lengths ``(n_opt, n_commit, n_disp)``.
+    counts: Optional[Tuple[int, int, int]] = None
+    #: v3 only: per-column byte offsets within the raw payload, in
+    #: ``_COL_*`` order.
+    columns: Optional[Tuple[int, ...]] = None
 
 
 @dataclass
 class TraceIndex:
-    """File-level metadata and the chunk directory of a v2 trace."""
+    """File-level metadata and the chunk directory of a v2/v3 trace."""
 
     banks: int
     compressed: bool
     chunk_cycles: int
     chunks: List[ChunkInfo]
+    version: int = 2
 
     @property
     def total_records(self) -> int:
@@ -325,7 +367,62 @@ def _read_trace_v1(stream: BinaryIO, banks: int) -> Iterator[CycleRecord]:
 # -- format v2 ------------------------------------------------------------------
 
 
-class TraceWriterV2(TraceObserver):
+class _AtomicWriterMixin:
+    """Path-mode atomicity shared by the chunked trace writers.
+
+    In path mode the writer targets a unique ``*.tmp`` sibling and only
+    fsyncs + renames it over the destination on finish, so a killed
+    ``repro record`` or cache fill never leaves a truncated trace at
+    the destination path -- which readers would otherwise silently
+    accept, because truncation at a chunk boundary is indistinguishable
+    from end-of-trace.  Call :meth:`abort` to discard a partial
+    path-mode write explicitly.
+    """
+
+    _path: Optional[str]
+    _tmp_path: Optional[str]
+    _closed: bool
+    stream: BinaryIO
+
+    def _open_dest(self, stream: Union[BinaryIO, str, "os.PathLike[str]"]
+                   ) -> BinaryIO:
+        self._path = None
+        self._tmp_path = None
+        self._closed = False
+        if isinstance(stream, (str, os.PathLike)):
+            self._path = os.fspath(stream)
+            self._tmp_path = f"{self._path}.{os.getpid()}.tmp"
+            stream = open(self._tmp_path, "wb")
+        return stream
+
+    def _finalize(self) -> None:
+        self.stream.flush()
+        if self._path is not None and not self._closed:
+            self._closed = True
+            os.fsync(self.stream.fileno())
+            self.stream.close()
+            os.replace(self._tmp_path, self._path)
+            _fsync_dir(os.path.dirname(self._path))
+
+    def abort(self) -> None:
+        """Discard a partially-written path-mode trace.
+
+        Closes and unlinks the temporary file; the destination path is
+        never touched.  No-op in stream mode or after finishing.
+        """
+        if self._path is None or self._closed:
+            return
+        self._closed = True
+        try:
+            self.stream.close()
+        finally:
+            try:
+                os.unlink(self._tmp_path)
+            except OSError:
+                pass
+
+
+class TraceWriterV2(_AtomicWriterMixin, TraceObserver):
     """Observer that serializes the trace in the chunk-indexed v2 format.
 
     Records are buffered and flushed as chunks of *chunk_cycles*
@@ -349,14 +446,8 @@ class TraceWriterV2(TraceObserver):
                  compress: bool = False):
         if chunk_cycles < 1:
             raise ValueError("chunk_cycles must be >= 1")
-        self._path: Optional[str] = None
-        self._tmp_path: Optional[str] = None
-        self._closed = False
-        if isinstance(stream, (str, os.PathLike)):
-            self._path = os.fspath(stream)
-            self._tmp_path = f"{self._path}.{os.getpid()}.tmp"
-            stream = open(self._tmp_path, "wb")
-        self.stream = stream
+        self.stream = self._open_dest(stream)
+        stream = self.stream
         self.banks = banks
         self.chunk_cycles = chunk_cycles
         self.compress = compress
@@ -400,30 +491,7 @@ class TraceWriterV2(TraceObserver):
     def on_finish(self, final_cycle: int) -> None:
         if self._buffer:
             self._flush_chunk()
-        self.stream.flush()
-        if self._path is not None and not self._closed:
-            self._closed = True
-            os.fsync(self.stream.fileno())
-            self.stream.close()
-            os.replace(self._tmp_path, self._path)
-            _fsync_dir(os.path.dirname(self._path))
-
-    def abort(self) -> None:
-        """Discard a partially-written path-mode trace.
-
-        Closes and unlinks the temporary file; the destination path is
-        never touched.  No-op in stream mode or after :meth:`on_finish`.
-        """
-        if self._path is None or self._closed:
-            return
-        self._closed = True
-        try:
-            self.stream.close()
-        finally:
-            try:
-                os.unlink(self._tmp_path)
-            except OSError:
-                pass
+        self._finalize()
 
     def _flush_chunk(self) -> None:
         raw = b"".join(self._buffer)
@@ -459,6 +527,223 @@ def _fsync_dir(dirname: str) -> None:
         os.close(fd)
 
 
+# -- format v3 ------------------------------------------------------------------
+
+
+def _pack_u64(values: Sequence[int]) -> bytes:
+    """Pack a sequence of u64s little-endian (column wire form)."""
+    arr = array("Q", values)
+    if not _LITTLE:
+        arr.byteswap()
+    if arr.itemsize != 8:  # pragma: no cover - exotic platforms
+        return struct.pack("<%dQ" % len(values), *values)
+    return arr.tobytes()
+
+
+def _pack_u32(values: Sequence[int]) -> bytes:
+    """Pack a sequence of u32s little-endian (prefix-base wire form)."""
+    if isinstance(values, array) and values.typecode == "I" and _LITTLE \
+            and values.itemsize == 4:
+        return values.tobytes()
+    arr = array("I", values)
+    if not _LITTLE:
+        arr.byteswap()
+    if arr.itemsize != 4:  # pragma: no cover - exotic platforms
+        return struct.pack("<%dI" % len(values), *values)
+    return arr.tobytes()
+
+
+def _cast_u64(view: memoryview, offset: int, count: int) -> Sequence[int]:
+    """A u64 column as a zero-copy cast (byteswap copy on big-endian)."""
+    sub = view[offset:offset + 8 * count]
+    if len(sub) != 8 * count:
+        raise ValueError("v3 column out of bounds")
+    if _LITTLE:
+        return sub.cast("Q")
+    arr = array("Q")  # pragma: no cover - big-endian fallback
+    arr.frombytes(sub.tobytes())
+    arr.byteswap()
+    return arr
+
+
+def _cast_u32(view: memoryview, offset: int, count: int) -> Sequence[int]:
+    """A u32 column as a zero-copy cast (byteswap copy on big-endian)."""
+    sub = view[offset:offset + 4 * count]
+    if len(sub) != 4 * count:
+        raise ValueError("v3 column out of bounds")
+    if _LITTLE:
+        return sub.cast("I")
+    arr = array("I")  # pragma: no cover - big-endian fallback
+    arr.frombytes(sub.tobytes())
+    arr.byteswap()
+    return arr
+
+
+def _serialize_block_columns(block: Any
+                             ) -> Tuple[bytes, Tuple[int, ...],
+                                        Tuple[int, int, int]]:
+    """Serialize a :class:`CycleBlock`'s columns into one v3 payload.
+
+    Returns ``(payload, column_offsets, (n_opt, n_commit, n_disp))``;
+    every column start (and the total size) is padded to an 8-byte
+    boundary so the payload can be decoded by pointer casts when the
+    file offset itself is 8-aligned (which the v3 framing guarantees).
+    """
+    parts: List[bytes] = []
+    offsets: List[int] = []
+    pos = 0
+
+    def add(data: bytes) -> None:
+        nonlocal pos
+        pad = -pos % 8
+        if pad:
+            parts.append(b"\x00" * pad)
+            pos += pad
+        offsets.append(pos)
+        parts.append(data)
+        pos += len(data)
+
+    add(_pack_u64(block.fetch_pc))
+    add(_pack_u64(block.opt_vals))
+    add(_pack_u64(block.commit_addr))
+    add(_pack_u64(block.disp_addr))
+    add(_pack_u32(block.opt_base))
+    add(_pack_u32(block.commit_base))
+    add(_pack_u32(block.disp_base))
+    add(bytes(block.flags))
+    add(bytes(block.oldest_bank))
+    add(bytes(block.commit_meta))
+    pad = -pos % 8
+    if pad:
+        parts.append(b"\x00" * pad)
+    return (b"".join(parts), tuple(offsets),
+            (len(block.opt_vals), len(block.commit_addr),
+             len(block.disp_addr)))
+
+
+def _block_from_columns(view: memoryview, start_cycle: int,
+                        n_records: int, banks: int,
+                        counts: Tuple[int, int, int],
+                        columns: Tuple[int, ...]) -> Any:
+    """Build a :class:`CycleBlock` over a v3 column buffer, zero-copy."""
+    from ..fastpath.block import CycleBlock
+    n_opt, n_commit, n_disp = counts
+    n = n_records
+    total = len(view)
+    for off in columns:
+        if off > total:
+            raise ValueError("v3 column out of bounds")
+    flags = view[columns[_COL_FLAGS]:columns[_COL_FLAGS] + n]
+    oldest = view[columns[_COL_OLDEST]:columns[_COL_OLDEST] + n]
+    meta = view[columns[_COL_COMMIT_META]:
+                columns[_COL_COMMIT_META] + n_commit]
+    if len(flags) != n or len(oldest) != n or len(meta) != n_commit:
+        raise ValueError("v3 column out of bounds")
+    return CycleBlock(
+        start_cycle, n, banks, flags, oldest,
+        _cast_u64(view, columns[_COL_FETCH_PC], n),
+        _cast_u64(view, columns[_COL_OPT_VALS], n_opt),
+        _cast_u32(view, columns[_COL_OPT_BASE], n + 1),
+        _cast_u32(view, columns[_COL_COMMIT_BASE], n + 1),
+        _cast_u64(view, columns[_COL_COMMIT_ADDR], n_commit), meta,
+        _cast_u32(view, columns[_COL_DISP_BASE], n + 1),
+        _cast_u64(view, columns[_COL_DISP_ADDR], n_disp))
+
+
+class TraceWriterV3(_AtomicWriterMixin, TraceObserver):
+    """Observer that serializes the trace in the columnar v3 format.
+
+    Buffers ``(record, count)`` runs and flushes chunks of
+    *chunk_cycles* records whose payload **is** the chunk's
+    :class:`~repro.fastpath.block.CycleBlock` columns, 8-byte aligned
+    behind a per-column offset table, so readers decode by casting an
+    ``mmap`` of the file instead of looping over records.  Carry state
+    and atomic path-mode semantics match :class:`TraceWriterV2`.
+    """
+
+    def __init__(self, stream: Union[BinaryIO, str, "os.PathLike[str]"],
+                 banks: int = 4,
+                 chunk_cycles: int = DEFAULT_CHUNK_CYCLES,
+                 compress: bool = False):
+        if chunk_cycles < 1:
+            raise ValueError("chunk_cycles must be >= 1")
+        self.stream = self._open_dest(stream)
+        self.banks = banks
+        self.chunk_cycles = chunk_cycles
+        self.compress = compress
+        self.records_written = 0
+        self.chunks_written = 0
+        self._runs: List[Tuple[CycleRecord, int]] = []
+        self._buffered = 0
+        self._chunk_start = 0
+        #: Carry as of the start of the buffered chunk.
+        self._chunk_carry = ChunkCarry()
+        #: Carry advanced past every record seen so far.
+        self._carry = ChunkCarry()
+        self.stream.write(MAGIC_V3)
+        self.stream.write(_FILE_HDR_V2.pack(
+            banks, _FILE_F_ZLIB if compress else 0, chunk_cycles))
+        self.stream.write(_FILE_PAD_V3)
+
+    def on_cycle(self, record: CycleRecord) -> None:
+        self._runs.append((record, 1))
+        self._buffered += 1
+        self._carry.update(record)
+        self.records_written += 1
+        if self._buffered >= self.chunk_cycles:
+            self._flush_chunk()
+
+    def on_stall_run(self, record: CycleRecord, count: int) -> None:
+        # One run entry per chunk the stall spans: columnarization
+        # expands it by C-speed sequence multiplication.
+        self._carry.update(record)
+        self.records_written += count
+        while count:
+            space = self.chunk_cycles - self._buffered
+            take = count if count < space else space
+            self._runs.append((record, take))
+            self._buffered += take
+            count -= take
+            if self._buffered >= self.chunk_cycles:
+                self._flush_chunk()
+
+    def on_finish(self, final_cycle: int) -> None:
+        if self._runs:
+            self._flush_chunk()
+        self._finalize()
+
+    def _flush_chunk(self) -> None:
+        from ..fastpath.block import CycleBlock
+        block = CycleBlock.from_runs(self._runs, self.banks)
+        raw, offsets, (n_opt, n_commit, n_disp) = \
+            _serialize_block_columns(block)
+        payload = zlib.compress(raw) if self.compress else raw
+        carry = self._chunk_carry
+        flags = 0
+        if carry.oir_addr is not None:
+            flags |= _C_HAS_OIR
+        if carry.last_committed is not None:
+            flags |= _C_HAS_LAST
+        if carry.drain_pending:
+            flags |= _C_DRAIN
+        self.stream.write(_CHUNK_HDR_V3.pack(
+            self._chunk_start, self._buffered, len(payload), len(raw),
+            flags, carry.oir_flag, carry.oir_kind, 0,
+            carry.oir_addr or 0, carry.last_committed or 0,
+            n_opt, n_commit, n_disp, *offsets))
+        self.stream.write(payload)
+        pad = -len(payload) % 8
+        if pad:
+            # Keep the next chunk header 8-aligned even when zlib
+            # produced an odd-sized payload.
+            self.stream.write(b"\x00" * pad)
+        self._chunk_start += self._buffered
+        self._runs = []
+        self._buffered = 0
+        self._chunk_carry = self._carry.copy()
+        self.chunks_written += 1
+
+
 def _read_file_header(stream: BinaryIO):
     """Read the magic and header; returns (version, banks, compressed,
     chunk_cycles)."""
@@ -466,12 +751,15 @@ def _read_file_header(stream: BinaryIO):
     if magic == MAGIC:
         banks = struct.unpack("<B", stream.read(1))[0]
         return 1, banks, False, 0
-    if magic == MAGIC_V2:
-        header = stream.read(_FILE_HDR_V2.size)
-        if len(header) < _FILE_HDR_V2.size:
-            raise ValueError("truncated v2 trace header")
-        banks, flags, chunk_cycles = _FILE_HDR_V2.unpack(header)
-        return 2, banks, bool(flags & _FILE_F_ZLIB), chunk_cycles
+    if magic in (MAGIC_V2, MAGIC_V3):
+        version = 2 if magic == MAGIC_V2 else 3
+        size = _FILE_HDR_V2.size + (len(_FILE_PAD_V3) if version == 3
+                                    else 0)
+        header = stream.read(size)
+        if len(header) < size:
+            raise ValueError(f"truncated v{version} trace header")
+        banks, flags, chunk_cycles = _FILE_HDR_V2.unpack_from(header)
+        return version, banks, bool(flags & _FILE_F_ZLIB), chunk_cycles
     raise ValueError("not a TIP trace stream")
 
 
@@ -486,6 +774,24 @@ def _unpack_chunk_header(header: bytes) -> Tuple[int, int, int, int,
         last_committed=last_committed if flags & _C_HAS_LAST else None,
         drain_pending=bool(flags & _C_DRAIN))
     return start_cycle, n_records, payload_bytes, raw_bytes, carry
+
+
+def _unpack_chunk_header_v3(buf, pos: int = 0
+                            ) -> Tuple[int, int, int, int, ChunkCarry,
+                                       Tuple[int, int, int],
+                                       Tuple[int, ...]]:
+    fields = _CHUNK_HDR_V3.unpack_from(buf, pos)
+    (start_cycle, n_records, payload_bytes, raw_bytes, flags,
+     oir_flag, oir_kind, _pad, oir_addr, last_committed) = fields[:10]
+    counts = fields[10:13]
+    columns = fields[13:23]
+    carry = ChunkCarry(
+        oir_addr=oir_addr if flags & _C_HAS_OIR else None,
+        oir_flag=oir_flag, oir_kind=oir_kind,
+        last_committed=last_committed if flags & _C_HAS_LAST else None,
+        drain_pending=bool(flags & _C_DRAIN))
+    return (start_cycle, n_records, payload_bytes, raw_bytes, carry,
+            counts, columns)
 
 
 def _decode_chunk(payload: bytes, compressed: bool, raw_bytes: int,
@@ -522,6 +828,30 @@ def _read_trace_v2(stream: BinaryIO, banks: int, compressed: bool
             yield record
 
 
+def _read_trace_v3(stream: BinaryIO, banks: int, compressed: bool
+                   ) -> Iterator[CycleRecord]:
+    while True:
+        header = stream.read(_CHUNK_HDR_V3.size)
+        if not header:
+            return
+        if len(header) < _CHUNK_HDR_V3.size:
+            raise ValueError("truncated chunk header")
+        (start_cycle, n_records, payload_bytes, raw_bytes, _carry,
+         counts, columns) = _unpack_chunk_header_v3(header)
+        stored = payload_bytes + (-payload_bytes % 8)
+        payload = stream.read(stored)
+        if len(payload) < stored:
+            raise ValueError("truncated chunk payload")
+        raw = (zlib.decompress(payload[:payload_bytes]) if compressed
+               else payload)
+        if len(raw) != raw_bytes:
+            raise ValueError("chunk payload size mismatch")
+        block = _block_from_columns(memoryview(raw), start_cycle,
+                                    n_records, banks, counts, columns)
+        for record in block.records():
+            yield record
+
+
 # -- readers ---------------------------------------------------------------------
 
 
@@ -536,43 +866,81 @@ def _open_source(source: Union[BinaryIO, bytes, str]
 
 
 def read_trace(stream: BinaryIO) -> Iterator[CycleRecord]:
-    """Iterate over the records of a serialized trace (v1 or v2)."""
+    """Iterate over the records of a serialized trace (v1, v2 or v3)."""
     version, banks, compressed, _chunk_cycles = _read_file_header(stream)
     if version == 1:
         return _read_trace_v1(stream, banks)
-    return _read_trace_v2(stream, banks, compressed)
+    if version == 2:
+        return _read_trace_v2(stream, banks, compressed)
+    return _read_trace_v3(stream, banks, compressed)
 
 
 def _scan_index(stream: BinaryIO) -> TraceIndex:
-    """Scan an open v2 stream (positioned at 0) for its chunk directory.
+    """Scan an open v2/v3 stream (positioned at 0) for its chunk
+    directory.
 
     Only chunk headers are read; payloads are skipped, so indexing a
     large trace is cheap.  Raises :class:`ValueError` for v1 traces
-    (convert them with :func:`convert_v1_to_v2` first).
+    (convert them with :func:`convert_trace` first).
     """
     version, banks, compressed, chunk_cycles = _read_file_header(stream)
-    if version != 2:
+    if version == 1:
         raise ValueError(
             "trace is format v1: no chunk index (convert with "
-            "convert_v1_to_v2 / `repro convert-trace`)")
+            "convert_trace / `repro convert-trace`)")
+    hdr = _CHUNK_HDR if version == 2 else _CHUNK_HDR_V3
     chunks: List[ChunkInfo] = []
     while True:
-        header = stream.read(_CHUNK_HDR.size)
+        header = stream.read(hdr.size)
         if not header:
             break
-        if len(header) < _CHUNK_HDR.size:
+        if len(header) < hdr.size:
             raise ValueError("truncated chunk header")
-        start_cycle, n_records, payload_bytes, raw_bytes, carry = \
-            _unpack_chunk_header(header)
+        counts: Optional[Tuple[int, int, int]] = None
+        columns: Optional[Tuple[int, ...]] = None
+        if version == 2:
+            start_cycle, n_records, payload_bytes, raw_bytes, carry = \
+                _unpack_chunk_header(header)
+            stored = payload_bytes
+        else:
+            (start_cycle, n_records, payload_bytes, raw_bytes, carry,
+             counts, columns) = _unpack_chunk_header_v3(header)
+            stored = payload_bytes + (-payload_bytes % 8)
         offset = stream.tell()
         chunks.append(ChunkInfo(start_cycle, n_records, offset,
-                                payload_bytes, raw_bytes, carry))
-        stream.seek(payload_bytes, io.SEEK_CUR)
-    return TraceIndex(banks, compressed, chunk_cycles, chunks)
+                                payload_bytes, raw_bytes, carry,
+                                counts, columns))
+        stream.seek(stored, io.SEEK_CUR)
+    return TraceIndex(banks, compressed, chunk_cycles, chunks, version)
+
+
+def _scan_index_buffer(buf: memoryview) -> TraceIndex:
+    """Scan an in-memory v3 trace buffer for its chunk directory."""
+    if bytes(buf[:len(MAGIC_V3)]) != MAGIC_V3:
+        raise ValueError("not a v3 TIP trace")
+    banks, flags, chunk_cycles = _FILE_HDR_V2.unpack_from(buf,
+                                                          len(MAGIC_V3))
+    compressed = bool(flags & _FILE_F_ZLIB)
+    pos = len(MAGIC_V3) + _FILE_HDR_V2.size + len(_FILE_PAD_V3)
+    total = len(buf)
+    chunks: List[ChunkInfo] = []
+    while pos < total:
+        if pos + _CHUNK_HDR_V3.size > total:
+            raise ValueError("truncated chunk header")
+        (start_cycle, n_records, payload_bytes, raw_bytes, carry,
+         counts, columns) = _unpack_chunk_header_v3(buf, pos)
+        offset = pos + _CHUNK_HDR_V3.size
+        if offset + payload_bytes > total:
+            raise ValueError("truncated chunk payload")
+        chunks.append(ChunkInfo(start_cycle, n_records, offset,
+                                payload_bytes, raw_bytes, carry,
+                                counts, columns))
+        pos = offset + payload_bytes + (-payload_bytes % 8)
+    return TraceIndex(banks, compressed, chunk_cycles, chunks, 3)
 
 
 def read_index(source: Union[BinaryIO, bytes, str]) -> TraceIndex:
-    """Scan a v2 trace and return its chunk directory."""
+    """Scan a v2/v3 trace and return its chunk directory."""
     stream, owns = _open_source(source)
     try:
         return _scan_index(stream)
@@ -641,6 +1009,12 @@ class TraceReaderV2:
             raise ValueError("trailing bytes in trace chunk")
         return records
 
+    def chunk_block(self, chunk: ChunkInfo) -> Any:
+        """Decode one chunk into a columnar ``CycleBlock``."""
+        from ..fastpath.block import decode_block
+        return decode_block(self.chunk_payload(chunk), chunk.start_cycle,
+                            chunk.n_records, self.index.banks)
+
     def records(self) -> Iterator[CycleRecord]:
         """Iterate over every record of the trace in cycle order."""
         for chunk in self.index.chunks:
@@ -656,6 +1030,137 @@ class TraceReaderV2:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+class TraceReaderV3:
+    """Zero-copy random-access reader over a columnar v3 trace.
+
+    Path sources are ``mmap``-ed read-only: decoding a chunk is then a
+    set of ``memoryview`` casts straight over the mapping -- the OS
+    page cache is the only copy, and forked shard workers that open the
+    same path share those pages.  ``bytes`` sources are viewed in
+    place; stream sources are read into one buffer.  zlib-compressed
+    traces fall back to one decompress-copy per chunk.
+
+    Interface-compatible with :class:`TraceReaderV2` (``index``,
+    ``banks``, ``chunk_records``, ``records``, context manager) plus
+    :meth:`chunk_block` for columnar replay.
+    """
+
+    def __init__(self, source: Union[BinaryIO, bytes, str]):
+        self._file: Optional[BinaryIO] = None
+        self._mmap: Optional[mmap.mmap] = None
+        self._closed = False
+        if isinstance(source, str):
+            self._file = open(source, "rb")
+            try:
+                self._mmap = mmap.mmap(self._file.fileno(), 0,
+                                       access=mmap.ACCESS_READ)
+                buffer: Union[mmap.mmap, bytes] = self._mmap
+            except (ValueError, OSError):
+                # Empty or unmappable file: fall back to a read copy.
+                self._file.seek(0)
+                buffer = self._file.read()
+        elif isinstance(source, (bytes, bytearray)):
+            buffer = bytes(source)
+        else:
+            if source.seekable():
+                source.seek(0)
+            buffer = source.read()
+        self._view = memoryview(buffer)
+        try:
+            self.index = _scan_index_buffer(self._view)
+        except Exception:
+            self.close()
+            raise
+
+    @property
+    def banks(self) -> int:
+        return self.index.banks
+
+    def chunk_raw(self, chunk: ChunkInfo) -> memoryview:
+        """The chunk's raw column buffer (zero-copy when uncompressed)."""
+        data = self._view[chunk.offset:chunk.offset + chunk.payload_bytes]
+        if len(data) != chunk.payload_bytes:
+            raise ValueError("truncated chunk payload")
+        if self.index.compressed:
+            raw = zlib.decompress(data)
+            if len(raw) != chunk.raw_bytes:
+                raise ValueError("chunk payload size mismatch")
+            return memoryview(raw)
+        if chunk.payload_bytes != chunk.raw_bytes:
+            raise ValueError("chunk payload size mismatch")
+        return data
+
+    def chunk_block(self, chunk: ChunkInfo) -> Any:
+        """The chunk as a columnar ``CycleBlock`` over the mapping."""
+        assert chunk.counts is not None and chunk.columns is not None
+        return _block_from_columns(self.chunk_raw(chunk),
+                                   chunk.start_cycle, chunk.n_records,
+                                   self.index.banks, chunk.counts,
+                                   chunk.columns)
+
+    def chunk_records(self, chunk: ChunkInfo) -> List[CycleRecord]:
+        """Decode the records of one chunk."""
+        block = self.chunk_block(chunk)
+        return [block.record(i) for i in range(chunk.n_records)]
+
+    def records(self) -> Iterator[CycleRecord]:
+        """Iterate over every record of the trace in cycle order."""
+        for chunk in self.index.chunks:
+            for record in self.chunk_records(chunk):
+                yield record
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._view.release()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:
+                # Live block views still reference the mapping; it is
+                # unmapped when they are dropped.  The fd below closes
+                # regardless (the mapping survives fd close).
+                pass
+        if self._file is not None:
+            self._file.close()
+
+    def __enter__(self) -> "TraceReaderV3":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+TraceReader = Union[TraceReaderV2, TraceReaderV3]
+
+
+def open_reader(source: Union[BinaryIO, bytes, str]) -> TraceReader:
+    """Open a random-access chunk reader, dispatching on the magic.
+
+    Returns :class:`TraceReaderV3` for v3 traces and
+    :class:`TraceReaderV2` for v2; raises :class:`ValueError` for v1
+    (no chunk index -- callers fall back to the record stream).
+    """
+    if isinstance(source, (bytes, bytearray)):
+        magic = bytes(source[:len(MAGIC)])
+    elif isinstance(source, str):
+        with open(source, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+    else:
+        if source.seekable():
+            source.seek(0)
+        magic = source.read(len(MAGIC))
+        if source.seekable():
+            source.seek(0)
+    if magic == MAGIC_V3:
+        return TraceReaderV3(source)
+    return TraceReaderV2(source)
 
 
 def read_chunk(source: Union[BinaryIO, bytes, str], index: TraceIndex,
@@ -693,15 +1198,21 @@ def replay_trace(source: Union[BinaryIO, bytes, str],
     return final_cycle + 1
 
 
-def convert_v1_to_v2(source: Union[BinaryIO, bytes, str],
-                     dest: Union[BinaryIO, str],
-                     chunk_cycles: int = DEFAULT_CHUNK_CYCLES,
-                     compress: bool = False) -> int:
-    """Re-encode a v1 trace in the chunk-indexed v2 format.
+def convert_trace(source: Union[BinaryIO, bytes, str],
+                  dest: Union[BinaryIO, str],
+                  version: int = 3,
+                  chunk_cycles: int = DEFAULT_CHUNK_CYCLES,
+                  compress: bool = False) -> int:
+    """Re-encode a trace of any version as format *version*.
 
-    Every record is preserved bit-for-bit (the per-record encoding is
-    shared); returns the number of records converted.
+    Every record is preserved losslessly, so conversion round trips
+    (v2 -> v3 -> v2 with the same chunk parameters) are byte-identical:
+    records are dense from cycle 0, which pins the chunking, and the
+    carry state is recomputed deterministically.  Returns the number of
+    records converted.
     """
+    if version not in (1, 2, 3):
+        raise ValueError(f"unknown trace format version: {version}")
     in_stream, owns_in = _open_source(source)
     out_stream: BinaryIO
     owns_out = False
@@ -711,14 +1222,27 @@ def convert_v1_to_v2(source: Union[BinaryIO, bytes, str],
     else:
         out_stream = dest
     try:
-        version, banks, _compressed, _cc = _read_file_header(in_stream)
-        if version != 1:
-            raise ValueError("source trace is not format v1")
-        writer = TraceWriterV2(out_stream, banks=banks,
-                               chunk_cycles=chunk_cycles,
-                               compress=compress)
+        src_version, banks, src_compressed, _cc = \
+            _read_file_header(in_stream)
+        if src_version == 1:
+            records = _read_trace_v1(in_stream, banks)
+        elif src_version == 2:
+            records = _read_trace_v2(in_stream, banks, src_compressed)
+        else:
+            records = _read_trace_v3(in_stream, banks, src_compressed)
+        writer: TraceObserver
+        if version == 1:
+            writer = TraceWriter(out_stream, banks=banks)
+        elif version == 2:
+            writer = TraceWriterV2(out_stream, banks=banks,
+                                   chunk_cycles=chunk_cycles,
+                                   compress=compress)
+        else:
+            writer = TraceWriterV3(out_stream, banks=banks,
+                                   chunk_cycles=chunk_cycles,
+                                   compress=compress)
         final_cycle = 0
-        for record in _read_trace_v1(in_stream, banks):
+        for record in records:
             writer.on_cycle(record)
             final_cycle = record.cycle
         writer.on_finish(final_cycle)
@@ -728,3 +1252,28 @@ def convert_v1_to_v2(source: Union[BinaryIO, bytes, str],
             in_stream.close()
         if owns_out:
             out_stream.close()
+
+
+def convert_v1_to_v2(source: Union[BinaryIO, bytes, str],
+                     dest: Union[BinaryIO, str],
+                     chunk_cycles: int = DEFAULT_CHUNK_CYCLES,
+                     compress: bool = False) -> int:
+    """Re-encode a v1 trace in the chunk-indexed v2 format.
+
+    Kept for compatibility; :func:`convert_trace` is the generic form.
+    """
+    in_stream, owns_in = _open_source(source)
+    try:
+        magic = in_stream.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError("source trace is not format v1")
+        if in_stream.seekable():
+            in_stream.seek(0)
+        else:  # pragma: no cover - non-seekable v1 sources
+            raise ValueError("v1 source stream must be seekable")
+        return convert_trace(in_stream, dest, version=2,
+                             chunk_cycles=chunk_cycles,
+                             compress=compress)
+    finally:
+        if owns_in:
+            in_stream.close()

@@ -30,22 +30,27 @@ Packed representation (``n`` = number of records in the block):
 Keeping the decode loop down to this packed form is what makes it
 fast; the classic dense columns (``rob_empty``, ``rob_head``,
 ``exception``, ``exc_ordering``, ``dispatch_pc``) are *derived lazily*
-and cached -- flag bits expand through ``bytearray.translate`` and the
+and cached -- flag bits expand through ``bytes.translate`` and the
 optional columns through one list comprehension each -- so observers
 that touch every cycle (the Oracle) pay one C-speed pass per column
-while sampling profilers use the sparse ``*_at`` accessors and index
-lists and never materialize them.
+while sampling profilers use the sparse ``*_at`` accessors and never
+materialize them.
 
-Sparse *index lists* (cycles with commits, with dispatches, with a
-dispatch-stage PC, and the OIR state sequence) are likewise lazy and
-shared, letting sampling profilers jump straight to the next cycle
-that matters (``bisect`` over a sorted int list) instead of visiting
-every record.
+Sampling profilers locate the next cycle that matters without
+visiting every record: ``bisect`` over the prefix-sum offset arrays
+finds the next committing/dispatching record in O(log n), and the
+cached flag masks (``exc_mask``, ``disp_pc_mask``) answer "next
+record with this flag" through C-speed ``bytes.find``/``rfind``.
+
+Columns may be plain Python containers or zero-copy ``memoryview``
+casts over an mmap-ed v3 chunk (:mod:`repro.cpu.tracefile`); both
+support the indexing, slicing and bisection the fast paths rely on.
 
 Blocks are built two ways: :func:`decode_block` parses a raw v2 chunk
 payload straight into columns (no intermediate record objects), and
 :meth:`CycleBlock.from_records` columnarizes live records (the
-simulation-side :class:`~repro.fastpath.engine.BlockAssembler`).
+simulation-side :class:`~repro.fastpath.engine.BlockAssembler`); v3
+chunks skip decoding entirely and wrap the stored columns in place.
 ``record(i)``/``records()`` materialize classic ``CycleRecord``
 objects on demand for observers without a columnar fast path.
 """
@@ -79,13 +84,8 @@ _NOPT = tuple(bin(f & (_F_EXC | _F_DISP_PC | _F_HEAD)).count("1")
 #: ``translate`` tables expanding one flag bit into a 0/1 column.
 _EMPTY_TABLE = bytes(1 if f & _F_EMPTY else 0 for f in range(256))
 _ORD_TABLE = bytes(1 if f & _F_ORD else 0 for f in range(256))
-
-#: OIR flag values mirrored from the profilers (TIP Figure 5).
-OIR_NONE = 0
-OIR_MISPREDICT = 1
-OIR_FLUSH = 2
-OIR_EXCEPTION = 3
-
+_EXC_TABLE = bytes(1 if f & _F_EXC else 0 for f in range(256))
+_DISP_PC_TABLE = bytes(1 if f & _F_DISP_PC else 0 for f in range(256))
 
 class CycleBlock:
     """A batch of consecutive cycles in columnar form."""
@@ -95,8 +95,7 @@ class CycleBlock:
         "opt_vals", "opt_base", "commit_base", "commit_addr",
         "commit_meta", "disp_base", "disp_addr", "_rob_empty",
         "_rob_head", "_exception", "_exc_ordering", "_dispatch_pc",
-        "_commit_cycles", "_disp_cycles", "_disp_pc_cycles",
-        "_oir_states",
+        "_flags_bytes", "_exc_mask", "_disp_pc_mask",
     )
 
     def __init__(self, start_cycle: int, n: int, banks: int,
@@ -118,15 +117,14 @@ class CycleBlock:
         self.commit_meta = commit_meta
         self.disp_base = disp_base
         self.disp_addr = disp_addr
-        self._rob_empty: Optional[bytearray] = None
+        self._rob_empty: Optional[bytes] = None
         self._rob_head: Optional[List[Optional[int]]] = None
         self._exception: Optional[List[Optional[int]]] = None
-        self._exc_ordering: Optional[bytearray] = None
+        self._exc_ordering: Optional[bytes] = None
         self._dispatch_pc: Optional[List[Optional[int]]] = None
-        self._commit_cycles: Optional[List[int]] = None
-        self._disp_cycles: Optional[List[int]] = None
-        self._disp_pc_cycles: Optional[List[int]] = None
-        self._oir_states = None
+        self._flags_bytes: Optional[bytes] = None
+        self._exc_mask: Optional[bytes] = None
+        self._disp_pc_mask: Optional[bytes] = None
 
     # -- sparse accessors (cheap point lookups, no materialization) ----------------
 
@@ -155,15 +153,45 @@ class CycleBlock:
     # -- dense columns (lazy, shared by every observer that needs them) ------------
 
     @property
-    def rob_empty(self) -> bytearray:
+    def flags_bytes(self) -> bytes:
+        """The flags column as ``bytes``.
+
+        ``bytes`` supports the C-speed ``translate``/``find``/``count``
+        scans the vectorized observers run; ``memoryview``-backed
+        blocks (mmap-ed v3 chunks) pay one copy here, amortized across
+        every mask derived from it.
+        """
+        if self._flags_bytes is None:
+            flags = self.flags
+            self._flags_bytes = (flags if type(flags) is bytes
+                                 else bytes(flags))
+        return self._flags_bytes
+
+    @property
+    def exc_mask(self) -> bytes:
+        """0/1 byte per record: record carries an exception."""
+        if self._exc_mask is None:
+            self._exc_mask = self.flags_bytes.translate(_EXC_TABLE)
+        return self._exc_mask
+
+    @property
+    def disp_pc_mask(self) -> bytes:
+        """0/1 byte per record: record has a dispatch-stage PC."""
+        if self._disp_pc_mask is None:
+            self._disp_pc_mask = \
+                self.flags_bytes.translate(_DISP_PC_TABLE)
+        return self._disp_pc_mask
+
+    @property
+    def rob_empty(self) -> bytes:
         if self._rob_empty is None:
-            self._rob_empty = self.flags.translate(_EMPTY_TABLE)
+            self._rob_empty = self.flags_bytes.translate(_EMPTY_TABLE)
         return self._rob_empty
 
     @property
-    def exc_ordering(self) -> bytearray:
+    def exc_ordering(self) -> bytes:
         if self._exc_ordering is None:
-            self._exc_ordering = self.flags.translate(_ORD_TABLE)
+            self._exc_ordering = self.flags_bytes.translate(_ORD_TABLE)
         return self._exc_ordering
 
     @property
@@ -192,80 +220,6 @@ class CycleBlock:
                 vals[base[i + 1] - 1] if flags[i] & _F_DISP_PC
                 else None for i in range(self.n)]
         return self._dispatch_pc
-
-    # -- derived index lists (lazy, shared by every observer) ---------------------
-
-    @property
-    def commit_cycles(self) -> List[int]:
-        """Sorted record indices that commit at least one instruction."""
-        if self._commit_cycles is None:
-            base = self.commit_base
-            self._commit_cycles = [i for i in range(self.n)
-                                   if base[i + 1] > base[i]]
-        return self._commit_cycles
-
-    @property
-    def disp_cycles(self) -> List[int]:
-        """Sorted record indices with a non-empty dispatch group."""
-        if self._disp_cycles is None:
-            base = self.disp_base
-            self._disp_cycles = [i for i in range(self.n)
-                                 if base[i + 1] > base[i]]
-        return self._disp_cycles
-
-    @property
-    def disp_pc_cycles(self) -> List[int]:
-        """Sorted record indices with a valid dispatch-stage PC."""
-        if self._disp_pc_cycles is None:
-            flags = self.flags
-            self._disp_pc_cycles = [i for i in range(self.n)
-                                    if flags[i] & _F_DISP_PC]
-        return self._disp_pc_cycles
-
-    @property
-    def oir_states(self) -> Tuple[List[int], List[int], List[int]]:
-        """OIR update sequence ``(indices, addrs, flags)``.
-
-        Entry *k* gives the OIR mirror *after* consuming record
-        ``indices[k]``, following TIP's update unit: the youngest
-        committing instruction wins; an exception updates the OIR only
-        on cycles that commit nothing (matching
-        :meth:`~repro.core.tip.TipProfiler._update_state`).
-        """
-        if self._oir_states is None:
-            idx: List[int] = []
-            addrs: List[int] = []
-            flags: List[int] = []
-            base = self.commit_base
-            cm = self.commit_meta
-            ca = self.commit_addr
-            for i in self.commit_cycles:
-                youngest = base[i + 1] - 1
-                meta = cm[youngest]
-                if meta & 0x40:
-                    flag = OIR_MISPREDICT
-                elif meta & 0x80:
-                    flag = OIR_FLUSH
-                else:
-                    flag = OIR_NONE
-                idx.append(i)
-                addrs.append(ca[youngest])
-                flags.append(flag)
-            record_flags = self.flags
-            exc_only = [i for i in range(self.n)
-                        if record_flags[i] & _F_EXC
-                        and base[i + 1] == base[i]]
-            if exc_only:
-                for i in exc_only:
-                    idx.append(i)
-                    addrs.append(self.exception_at(i))
-                    flags.append(OIR_EXCEPTION)
-                order = sorted(range(len(idx)), key=idx.__getitem__)
-                idx = [idx[k] for k in order]
-                addrs = [addrs[k] for k in order]
-                flags = [flags[k] for k in order]
-            self._oir_states = (idx, addrs, flags)
-        return self._oir_states
 
     # -- record materialization ----------------------------------------------------
 

@@ -26,8 +26,9 @@ from __future__ import annotations
 from typing import Iterable, List, Tuple, Union
 
 from ..cpu.trace import CycleRecord, TraceObserver, shifted_record
-from ..cpu.tracefile import TraceReaderV2, replay_trace
-from .block import CycleBlock, decode_block
+from ..cpu.tracefile import (TraceReaderV2, TraceReaderV3, open_reader,
+                             replay_trace)
+from .block import CycleBlock
 
 #: Engine names accepted across the CLI and the replay entry points.
 CYCLE_ENGINE = "cycle"
@@ -49,22 +50,32 @@ def validate_engine(engine: str) -> str:
 
 def replay_blocks(source: TraceSource,
                   *observers: TraceObserver) -> int:
-    """Replay a v2 trace through *observers* one chunk-block at a time.
+    """Replay a v2/v3 trace through *observers* one chunk-block at a
+    time.
 
-    Returns the cycle count.  Raises :class:`ValueError` for v1
-    traces (no chunk directory) -- use :func:`replay_with_engine` for
+    *source* may also be an already-open :class:`TraceReaderV2`/
+    :class:`TraceReaderV3`; the reader is then reused (one fd/mmap
+    across repeated replays) and left open for the caller to close.
+    Returns the cycle count.  Raises :class:`ValueError` for v1 traces
+    (no chunk directory) -- use :func:`replay_with_engine` for
     automatic fallback.
     """
     final_cycle = 0
-    with TraceReaderV2(source) as reader:
-        banks = reader.banks
+    if isinstance(source, (TraceReaderV2, TraceReaderV3)):
+        reader = source
+        owns = False
+    else:
+        reader = open_reader(source)
+        owns = True
+    try:
         for chunk in reader.index.chunks:
-            block = decode_block(reader.chunk_payload(chunk),
-                                 chunk.start_cycle, chunk.n_records,
-                                 banks)
+            block = reader.chunk_block(chunk)
             for observer in observers:
                 observer.on_block(block)
             final_cycle = chunk.start_cycle + chunk.n_records - 1
+    finally:
+        if owns:
+            reader.close()
     for observer in observers:
         observer.on_finish(final_cycle)
     return final_cycle + 1

@@ -157,8 +157,9 @@ def run_experiment(program: Program,
     against single-stepping); *cache* enables the content-addressed
     simulation cache (``True`` for the default root, a path, or a
     :class:`~repro.simfast.SimCache`).  On a hit the profilers replay
-    the cached v2 trace through the columnar block engine and
-    ``result.cached`` is set; on a miss the run records into the cache.
+    the cached columnar (v3) trace zero-copy through the block engine
+    and ``result.cached`` is set; on a miss the run records into the
+    cache.
     Traces, reports and stats are bit-identical across all paths.
 
     Raises :class:`~repro.cpu.core.MaxCyclesExceeded` when the budget
@@ -276,8 +277,9 @@ def replay_experiment(trace, image: Program,
 
     With *jobs* > 1 and a :class:`~repro.parallel.shard.ProgramSpec`
     (*spec*) the replay is sharded across worker processes
-    (chunk-indexed v2 traces only) with bit-identical profiler samples;
-    anything non-shardable silently falls back to this serial path.
+    (chunk-indexed v2/v3 traces only) with bit-identical profiler
+    samples; anything non-shardable silently falls back to this serial
+    path.
 
     *engine* selects how the trace is consumed: ``"block"`` (default)
     decodes each chunk into a columnar

@@ -1,7 +1,7 @@
 """``repro bench``: wall-clock timing of the record/replay pipeline.
 
 Times the four stages of the paper's methodology as implemented here --
-simulate, record (chunk-indexed v2 trace), serial out-of-band replay,
+simulate, record (columnar v3 trace), serial out-of-band replay,
 sharded parallel replay -- plus a serial-versus-parallel suite run, and
 writes the measurements to ``BENCH_pipeline.json``.  The sharded replay
 is also cross-checked against the serial one via per-profiler sample
@@ -23,7 +23,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.profiles import profile_checksum
 from ..cpu.machine import Machine
-from ..cpu.tracefile import DEFAULT_CHUNK_CYCLES, TraceWriterV2
+from ..cpu.tracefile import DEFAULT_CHUNK_CYCLES, TraceWriterV3
+from ..fastpath.bench import _bench_meta
 from ..workloads.suite import build, build_suite
 from .shard import ProgramSpec, replay_serial, replay_sharded
 
@@ -64,6 +65,7 @@ def run_bench(output: str = "BENCH_pipeline.json",
         "cpu_count": os.cpu_count(),
         "chunk_cycles": chunk_cycles,
         "compress": compress,
+        "meta": _bench_meta(1),
         "benchmarks": {},
     }
 
@@ -85,7 +87,7 @@ def run_bench(output: str = "BENCH_pipeline.json",
         machine = Machine(workload.program,
                           premapped_data=workload.premapped)
         buffer = io.BytesIO()
-        writer = TraceWriterV2(buffer, machine.config.rob_banks,
+        writer = TraceWriterV3(buffer, machine.config.rob_banks,
                                chunk_cycles=chunk_cycles,
                                compress=compress)
         machine.attach(writer)

@@ -1,11 +1,11 @@
-"""Sharded out-of-band replay of chunk-indexed (v2) traces.
+"""Sharded out-of-band replay of chunk-indexed (v2/v3) traces.
 
 The paper's evaluation records the commit-stage trace once and models
 every profiler over it out-of-band.  Serial replay of that trace is the
-dominant wall-clock cost of re-profiling; this module splits a v2 trace
-at chunk boundaries, replays each shard in a worker process, and merges
-the per-shard profiler snapshots into results that are **bit-identical
-to a serial replay** for every sampling profiler:
+dominant wall-clock cost of re-profiling; this module splits a
+chunk-indexed trace at chunk boundaries, replays each shard in a worker
+process, and merges the per-shard profiler snapshots into results that
+are **bit-identical to a serial replay** for every sampling profiler:
 
 * each chunk header carries the machine state (OIR mirror, last
   committed address) a profiler needs to cold-start at the boundary;
@@ -34,8 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..core.oracle import OracleProfiler, OracleReport
 from ..core.profiler import SamplingProfiler
 from ..core.sampling import SampleSchedule
-from ..cpu.tracefile import TraceIndex, TraceReaderV2, read_index
-from ..fastpath.block import decode_block
+from ..cpu.tracefile import TraceIndex, open_reader, read_index
 from ..fastpath.engine import (BLOCK_ENGINE, CYCLE_ENGINE,
                                replay_with_engine, validate_engine)
 from ..isa.program import Program
@@ -161,8 +160,10 @@ def replay_shard(trace: TraceSource, lo: int, hi: int,
 
     The trace is opened **once** and chunks are reached by seeking via
     the chunk directory.  With the (default) block *engine* each chunk
-    payload decodes straight into a columnar block that all observers
-    share; the cycle engine materializes records instead.
+    payload becomes a columnar block that all observers share -- v3
+    traces mmap the file and cast the stored columns in place, so
+    forked shard workers mapping the same path share physical pages;
+    the cycle engine materializes records instead.
     """
     validate_engine(engine)
     image = spec.build_image()
@@ -172,11 +173,10 @@ def replay_shard(trace: TraceSource, lo: int, hi: int,
     if sanitizer is not None:
         observers.append(sanitizer)
 
-    with TraceReaderV2(trace) as reader:
+    with open_reader(trace) as reader:
         chunks = reader.index.chunks
         if not 0 <= lo < hi <= len(chunks):
             raise ValueError(f"shard [{lo}, {hi}) out of range")
-        banks = reader.banks
         start_cycle = chunks[lo].start_cycle
         carry = chunks[lo].carry
         for observer in observers:
@@ -185,9 +185,7 @@ def replay_shard(trace: TraceSource, lo: int, hi: int,
         try:
             for chunk in chunks[lo:hi]:
                 if engine == BLOCK_ENGINE:
-                    block = decode_block(reader.chunk_payload(chunk),
-                                         chunk.start_cycle,
-                                         chunk.n_records, banks)
+                    block = reader.chunk_block(chunk)
                     for observer in observers:
                         observer.on_block(block)
                 else:

@@ -112,6 +112,11 @@ class ProfileServer:
         self.jobs: Dict[str, Job] = {}
         self._by_key: Dict[str, Job] = {}
         self._key_seq: Dict[str, int] = {}
+        # Distinct jobs sharing a simulation key serialize on these
+        # locks (cache enabled only): the first fills the cache entry,
+        # the rest replay it -- never more than one simulation per
+        # simulation key, as /stats advertises.
+        self._sim_locks: Dict[str, asyncio.Lock] = {}
         self._accepting = True
         self._server: Optional[asyncio.AbstractServer] = None
         self._started: Optional[float] = None
@@ -208,12 +213,20 @@ class ProfileServer:
         pool_job = PoolJob(name=job.id, func=execute_job,
                            args=(job.spec, self._cache_root),
                            timeout=timeout)
+        if self.cache is not None:
+            sim_lock = self._sim_locks.setdefault(job.sim_key,
+                                                  asyncio.Lock())
+        else:
+            # Without a cache, same-key jobs cannot share a trace, so
+            # serializing them would only lose parallelism.
+            sim_lock = contextlib.AsyncExitStack()  # no-op context
         try:
-            outcome = await self.pool.run(
-                pool_job,
-                on_start=lambda attempt: self._on_start(job, attempt),
-                on_retry=lambda attempt, failure:
-                    self._on_retry(job, attempt, failure))
+            async with sim_lock:
+                outcome = await self.pool.run(
+                    pool_job,
+                    on_start=lambda attempt: self._on_start(job, attempt),
+                    on_retry=lambda attempt, failure:
+                        self._on_retry(job, attempt, failure))
         except PoolError as exc:
             failure = exc.failure
             self._finish(job, ERROR, error={

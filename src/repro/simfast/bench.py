@@ -104,11 +104,13 @@ def run_sim_bench(benchmarks: Sequence[str] = SIM_BENCHMARKS,
     if scale is None:
         scale = QUICK_SCALE if quick else DEFAULT_SCALE
 
+    from ..fastpath.bench import _bench_meta
     result: Dict = {
         "period": period,
         "scale": scale,
         "repeats": repeats,
         "quick": quick,
+        "meta": _bench_meta(repeats),
         "rows": {},
     }
     checksums_equal = True

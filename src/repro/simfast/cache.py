@@ -2,7 +2,7 @@
 
 A completed simulation is fully determined by the program (including
 its pre-mapped data ranges), the core configuration, and the core-side
-sampling schedule -- so its v2 commit trace and final statistics can be
+sampling schedule -- so its commit trace and final statistics can be
 reused by any later run with the same inputs.  :class:`SimCache` stores
 exactly that under ``~/.cache/repro`` (overridable via ``--cache-dir``
 or ``$REPRO_CACHE_DIR``):
@@ -10,11 +10,14 @@ or ``$REPRO_CACHE_DIR``):
 * the **key** is a SHA-256 over (program digest, config digest,
   sampling-schedule parameters, trace-format version, repro version) --
   any change to the simulator's inputs or to the code that could alter
-  its output yields a fresh key, which is the whole invalidation story;
-* each entry is a ``<key>.trace`` (chunk-indexed v2, written atomically
-  by the path-mode :class:`~repro.cpu.tracefile.TraceWriterV2`) plus a
-  ``<key>.json`` sidecar holding the trace's SHA-256 checksum and the
-  run's :class:`~repro.cpu.core.CoreStats`;
+  its output yields a fresh key, which is the whole invalidation story
+  (bumping :data:`TRACE_FORMAT_VERSION` invalidates every v2-era
+  entry, so mixed-version caches never hand back a stale format);
+* each entry is a ``<key>.trace`` (columnar v3, written atomically by
+  the path-mode :class:`~repro.cpu.tracefile.TraceWriterV3`, replayed
+  zero-copy via mmap) plus a ``<key>.json`` sidecar holding the
+  trace's SHA-256 checksum and the run's
+  :class:`~repro.cpu.core.CoreStats`;
 * every hit re-verifies the checksum (corrupt entries are evicted and
   treated as misses) and touches the trace's mtime, which drives the
   LRU size cap (:data:`DEFAULT_CACHE_BYTES`).
@@ -37,11 +40,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from .. import __version__
 from ..cpu.config import CoreConfig
 from ..cpu.core import CoreStats
-from ..cpu.tracefile import TraceWriterV2
+from ..cpu.tracefile import TraceWriterV3
 from ..isa.program import Program
 
-#: Wire-format version of the cached traces (``TIPTRC02``).
-TRACE_FORMAT_VERSION = 2
+#: Wire-format version of the cached traces (``TIPTRC03``).
+TRACE_FORMAT_VERSION = 3
 
 #: Default LRU size cap: 1 GiB of traces + sidecars.
 DEFAULT_CACHE_BYTES = 1 << 30
@@ -190,15 +193,15 @@ class SimCache:
     # -- fills -----------------------------------------------------------------------
 
     def open_writer(self, key: str, banks: int,
-                    compress: bool = False) -> TraceWriterV2:
+                    compress: bool = False) -> TraceWriterV3:
         """A path-mode (atomic) trace writer targeting this entry.
 
         Attach it to the machine for the run; on an aborted or failed
-        run call :meth:`TraceWriterV2.abort` and nothing is cached.
+        run call :meth:`TraceWriterV3.abort` and nothing is cached.
         The entry only becomes visible once :meth:`commit` writes the
         checksummed sidecar.
         """
-        return TraceWriterV2(self._trace_path(key), banks=banks,
+        return TraceWriterV3(self._trace_path(key), banks=banks,
                              compress=compress)
 
     def commit(self, key: str, stats: CoreStats,

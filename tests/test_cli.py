@@ -295,7 +295,7 @@ loop:
     assert "sanitizer:" in out and "clean" in out
 
 
-def test_record_v2_replay_sharded_and_convert(tmp_path, capsys):
+def test_record_replay_sharded_and_convert(tmp_path, capsys):
     source = tmp_path / "prog.s"
     source.write_text("""
 .func main
@@ -309,11 +309,24 @@ loop:
 """)
     v2 = tmp_path / "run2.tiptrace"
     assert main(["record", str(source), "-o", str(v2),
-                 "--chunk-cycles", "128", "--compress"]) == 0
+                 "--chunk-cycles", "128", "--compress",
+                 "--format", "v2"]) == 0
     out = capsys.readouterr().out
     assert "[v2]" in out
 
     assert main(["replay", str(v2), str(source), "--jobs", "2",
+                 "--period", "11", "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "sharded, 2 shard(s)" in out
+    assert "clean" in out
+
+    # v3 is the default record format and shards the same way.
+    v3 = tmp_path / "run3.tiptrace"
+    assert main(["record", str(source), "-o", str(v3),
+                 "--chunk-cycles", "128"]) == 0
+    out = capsys.readouterr().out
+    assert "[v3]" in out
+    assert main(["replay", str(v3), str(source), "--jobs", "2",
                  "--period", "11", "--sanitize"]) == 0
     out = capsys.readouterr().out
     assert "sharded, 2 shard(s)" in out
@@ -327,11 +340,22 @@ loop:
     assert main(["convert-trace", str(v1), "-o", str(converted),
                  "--chunk-cycles", "64"]) == 0
     out = capsys.readouterr().out
-    assert "converted" in out
+    assert "converted" in out and "[v3]" in out
     assert main(["replay", str(converted), str(source), "--jobs", "3",
                  "--period", "11"]) == 0
     out = capsys.readouterr().out
     assert "sharded, 3 shard(s)" in out
+
+    # Downgrade path: v3 -> v2 keeps every record.
+    down = tmp_path / "down.tiptrace"
+    assert main(["convert-trace", str(v3), "-o", str(down),
+                 "--to", "v2", "--chunk-cycles", "128"]) == 0
+    out = capsys.readouterr().out
+    assert "[v2]" in out
+    assert main(["replay", str(down), str(source),
+                 "--period", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "replayed" in out
 
 
 def test_replay_v1_trace_falls_back_serially(tmp_path, capsys):

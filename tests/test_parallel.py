@@ -350,3 +350,36 @@ def test_replay_experiment_errors_identical_serial_vs_sharded(golden):
     assert serial.stats is None and sharded.stats is None
     for name, error in serial.errors().items():
         assert sharded.errors()[name] == pytest.approx(error, abs=1e-12)
+
+
+# -- fd hygiene: path traces are opened once per reader and closed ---------------
+
+
+def _open_fds():
+    return sorted(int(name) for name in os.listdir("/proc/self/fd"))
+
+
+@pytest.mark.skipif(not os.path.isdir("/proc/self/fd"),
+                    reason="needs procfs")
+def test_path_replay_does_not_leak_fds(golden, tmp_path):
+    """Regression: replaying a trace from a path used to re-open the
+    stream on every chunk rescan.  Readers now open (and mmap) the
+    file once, so repeated serial and sharded replays leave the parent
+    process fd table exactly as they found it."""
+    from repro.cpu.tracefile import convert_trace
+
+    trace, expected, image, spec, configs = golden
+    path = str(tmp_path / "golden_v3.tiptrace")
+    convert_trace(trace, path, version=3)
+    # Warm-up covers lazy imports and pool machinery so the snapshot
+    # below only sees replay-owned descriptors.
+    replay_serial(path, image, configs)
+    replay_sharded(path, spec, configs, jobs=2, image=image)
+    before = _open_fds()
+    for _ in range(3):
+        outcome = replay_serial(path, image, configs)
+        _check_against_golden(outcome, expected)
+    outcome = replay_sharded(path, spec, configs, jobs=2, image=image)
+    assert outcome.mode == "sharded"
+    _check_against_golden(outcome, expected)
+    assert _open_fds() == before

@@ -314,3 +314,194 @@ def test_v2_compression_shrinks_trace(recorded):
     convert_v1_to_v2(data, plain, chunk_cycles=256, compress=False)
     convert_v1_to_v2(data, packed, chunk_cycles=256, compress=True)
     assert len(packed.getvalue()) < len(plain.getvalue()) / 2
+
+
+# -- format v3: zero-copy columnar traces ---------------------------------------
+
+import os
+import tempfile
+
+from repro.cpu.tracefile import (TraceReaderV2, TraceReaderV3,
+                                 TraceWriterV3, convert_trace,
+                                 open_reader)
+
+
+def _write_v3(records, chunk_cycles, compress):
+    buffer = io.BytesIO()
+    writer = TraceWriterV3(buffer, banks=4, chunk_cycles=chunk_cycles,
+                           compress=compress)
+    for record in records:
+        writer.on_cycle(record)
+    writer.on_finish(records[-1].cycle if records else 0)
+    return buffer.getvalue()
+
+
+@given(records=_random_records(),
+       chunk_cycles=st.integers(1, 40),
+       compress=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_property_v3_mmap_round_trip(records, chunk_cycles, compress):
+    """An mmap-ed v3 file decodes to exactly what the v2 path yields,
+    and the layout invariants hold: 8-aligned chunk payloads, raw size
+    equal to payload size unless zlib ran."""
+    data = _write_v3(records, chunk_cycles, compress)
+    via_v2 = list(read_trace(io.BytesIO(
+        _write_v2(records, chunk_cycles, compress))))
+    fd, path = tempfile.mkstemp(suffix=".tiptrace")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        with TraceReaderV3(path) as reader:
+            assert reader.index.total_records == len(records)
+            for chunk in reader.index.chunks:
+                assert chunk.offset % 8 == 0
+                if not compress:
+                    assert chunk.payload_bytes == chunk.raw_bytes
+            decoded = list(reader.records())
+    finally:
+        os.unlink(path)
+    assert len(decoded) == len(records) == len(via_v2)
+    for original, copy in zip(records, decoded):
+        _records_equal(original, copy)
+    for original, copy in zip(via_v2, decoded):
+        _records_equal(original, copy)
+
+
+def test_v3_empty_trace():
+    """A v3 trace with zero records is just the 16-byte header."""
+    data = _write_v3([], 8, False)
+    assert len(data) == 16
+    with TraceReaderV3(data) as reader:
+        assert reader.index.total_records == 0
+        assert reader.index.chunks == []
+        assert list(reader.records()) == []
+
+
+def test_v3_single_cycle_chunks():
+    """chunk_cycles=1 degenerates to one record per chunk."""
+    from conftest import make_record
+    records = [make_record(c, fetch_pc=0x1000 + 4 * c, banks=4)
+               for c in range(5)]
+    data = _write_v3(records, 1, False)
+    with TraceReaderV3(data) as reader:
+        assert len(reader.index.chunks) == 5
+        assert all(chunk.n_records == 1
+                   for chunk in reader.index.chunks)
+        decoded = list(reader.records())
+    for original, copy in zip(records, decoded):
+        _records_equal(original, copy)
+
+
+def test_v3_stall_run_split_across_chunks():
+    """A batched stall run ending mid-chunk splits losslessly."""
+    from conftest import make_record
+    stall = make_record(0, rob_head=0x4000, fetch_pc=0x4000, banks=4)
+    tail = make_record(0, committed=[(0x4000, False, False)],
+                       fetch_pc=0x4004, banks=4)
+    buffer = io.BytesIO()
+    writer = TraceWriterV3(buffer, banks=4, chunk_cycles=4)
+    writer.on_stall_run(stall, 10)  # spans chunks 0..2
+    writer.on_cycle(tail)
+    writer.on_finish(10)
+    with TraceReaderV3(buffer.getvalue()) as reader:
+        assert [chunk.n_records for chunk in reader.index.chunks] == \
+            [4, 4, 3]
+        decoded = list(reader.records())
+    assert len(decoded) == 11
+    # Cycles are reconstructed densely from the chunk start; every
+    # other field round-trips the run's template record.
+    expected = [make_record(c, rob_head=0x4000, fetch_pc=0x4000,
+                            banks=4) for c in range(10)]
+    expected.append(make_record(10, committed=[(0x4000, False, False)],
+                                fetch_pc=0x4004, banks=4))
+    for original, copy in zip(expected, decoded):
+        _records_equal(original, copy)
+
+
+def test_v3_zlib_fallback_decodes_identically(recorded):
+    """Compressed v3 traces lose zero-copy but not correctness."""
+    data, collector, _ = recorded
+    plain, packed = io.BytesIO(), io.BytesIO()
+    convert_trace(data, plain, version=3, chunk_cycles=256)
+    convert_trace(data, packed, version=3, chunk_cycles=256,
+                  compress=True)
+    assert len(packed.getvalue()) < len(plain.getvalue()) / 2
+    with TraceReaderV3(packed.getvalue()) as reader:
+        decoded = list(reader.records())
+    assert len(decoded) == len(collector.records)
+    for original, copy in zip(collector.records, decoded):
+        _records_equal(original, copy)
+
+
+def test_open_reader_dispatches_on_magic(recorded):
+    data, _, _ = recorded
+    v2, v3 = io.BytesIO(), io.BytesIO()
+    convert_trace(data, v2, version=2)
+    convert_trace(data, v3, version=3)
+    with open_reader(v2.getvalue()) as reader:
+        assert isinstance(reader, TraceReaderV2)
+    with open_reader(v3.getvalue()) as reader:
+        assert isinstance(reader, TraceReaderV3)
+    with pytest.raises(ValueError):
+        open_reader(data)  # v1 has no chunk index
+
+
+# -- conversion round trips -----------------------------------------------------
+
+
+def test_convert_v1_to_v3_preserves_records(recorded):
+    data, collector, _ = recorded
+    v3 = io.BytesIO()
+    converted = convert_trace(data, v3, version=3, chunk_cycles=64)
+    assert converted == len(collector.records)
+    decoded = list(read_trace(io.BytesIO(v3.getvalue())))
+    assert len(decoded) == len(collector.records)
+    for original, copy in zip(collector.records, decoded):
+        _records_equal(original, copy)
+
+
+def test_convert_round_trips_are_byte_identical(recorded):
+    """v2 -> v3 -> v2 and v3 -> v2 -> v3 reproduce the input bytes
+    exactly when the chunk parameters match."""
+    data, _, _ = recorded
+    v2 = io.BytesIO()
+    convert_trace(data, v2, version=2, chunk_cycles=64)
+    v3 = io.BytesIO()
+    convert_trace(v2.getvalue(), v3, version=3, chunk_cycles=64)
+    v2_again = io.BytesIO()
+    convert_trace(v3.getvalue(), v2_again, version=2, chunk_cycles=64)
+    assert v2_again.getvalue() == v2.getvalue()
+    v3_again = io.BytesIO()
+    convert_trace(v2_again.getvalue(), v3_again, version=3,
+                  chunk_cycles=64)
+    assert v3_again.getvalue() == v3.getvalue()
+
+
+@given(records=_random_records(),
+       chunk_cycles=st.integers(1, 40),
+       compress=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_property_v2_v3_conversion_round_trip(records, chunk_cycles,
+                                              compress):
+    v2 = _write_v2(records, chunk_cycles, compress)
+    v3 = io.BytesIO()
+    convert_trace(v2, v3, version=3, chunk_cycles=chunk_cycles,
+                  compress=compress)
+    assert v3.getvalue() == _write_v3(records, chunk_cycles, compress)
+    back = io.BytesIO()
+    convert_trace(v3.getvalue(), back, version=2,
+                  chunk_cycles=chunk_cycles, compress=compress)
+    assert back.getvalue() == v2
+
+
+def test_v3_replay_drives_profilers(recorded):
+    """A v3 re-encoding of a v1 trace replays identically."""
+    data, _, machine = recorded
+    v3 = io.BytesIO()
+    convert_trace(data, v3, version=3, chunk_cycles=64)
+    v1_tip = TipProfiler(SampleSchedule(7), machine.image)
+    v3_tip = TipProfiler(SampleSchedule(7), machine.image)
+    assert replay_trace(data, v1_tip) == \
+        replay_trace(v3.getvalue(), v3_tip)
+    assert [(s.cycle, s.weights) for s in v1_tip.samples] == \
+        [(s.cycle, s.weights) for s in v3_tip.samples]
