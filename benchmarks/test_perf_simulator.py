@@ -6,6 +6,12 @@ large the reproduced experiments can be and quantifies the cost of
 out-of-band trace processing (the paper's CPU-side framework had the
 same concern: "on-the-fly processing with only minimal simulation
 slowdown").
+
+Each benchmark runs against one Compute-class and one Stall-class
+workload so regressions on either side of the paper's taxonomy are
+caught: the compute workload exercises the steady-state loop memoizer
+and the issue/commit pipeline, the stall workload exercises the
+event-driven stall fast-forward and the memory hierarchy.
 """
 
 import pytest
@@ -15,16 +21,33 @@ from repro.harness import default_profilers, run_experiment
 from repro.workloads import build_workload, k_int_ilp, k_stream_load
 
 
-def _workload():
-    return build_workload("perf", [
-        k_int_ilp("compute", 800, width=6),
+def _compute_workload():
+    """Compute-bound: wide integer ILP loops, no memory pressure."""
+    return build_workload("perf_compute", [
+        k_int_ilp("compute", 1000, width=6),
+    ])
+
+
+def _stall_workload():
+    """Stall-bound: strided streaming loads that miss the caches."""
+    return build_workload("perf_stall", [
         k_stream_load("stream", 250, 0x20_0000, 256 * 1024),
     ])
 
 
-def test_simulator_throughput_bare(benchmark):
+WORKLOADS = {
+    "compute": _compute_workload,
+    "stall": _stall_workload,
+}
+
+
+@pytest.fixture(params=sorted(WORKLOADS))
+def workload(request):
+    return WORKLOADS[request.param]()
+
+
+def test_simulator_throughput_bare(benchmark, workload):
     """Core simulation speed with no observers attached."""
-    workload = _workload()
 
     def run():
         machine = Machine(workload.program,
@@ -35,9 +58,8 @@ def test_simulator_throughput_bare(benchmark):
     assert cycles > 1000
 
 
-def test_simulator_throughput_with_profilers(benchmark):
+def test_simulator_throughput_with_profilers(benchmark, workload):
     """Simulation speed with Oracle + six profilers out-of-band."""
-    workload = _workload()
 
     def run():
         result = run_experiment(workload.program, default_profilers(31),
@@ -48,12 +70,11 @@ def test_simulator_throughput_with_profilers(benchmark):
     assert cycles > 1000
 
 
-def test_profiler_overhead_is_bounded(benchmark):
+def test_profiler_overhead_is_bounded(benchmark, workload):
     """Attaching the full profiler line-up costs less than ~6x bare
     simulation (the paper's out-of-band processing keeps up with the
     FPGA similarly)."""
     import time
-    workload = _workload()
 
     def timed(fn):
         start = time.perf_counter()

@@ -40,7 +40,7 @@ from .harness import (ALL_POLICIES, ExperimentResult, ProfilerConfig,
                       run_suite, run_workload)
 from .isa import Program, assemble
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CycleStack", "Granularity", "Symbolizer", "cycle_stack",

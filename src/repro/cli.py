@@ -159,7 +159,14 @@ def cmd_profile(args) -> int:
     cached = " (simulation cache hit)" if result.cached else ""
     print(f"{result.stats.committed} instructions, "
           f"{result.stats.cycles} cycles, IPC {result.stats.ipc:.2f}"
-          f"{cached}\n")
+          f"{cached}")
+    stats = result.stats
+    if stats.steady_state_cycles and stats.cycles:
+        share = stats.steady_state_cycles / stats.cycles
+        print(f"steady-state memoization: "
+              f"{stats.steady_state_iterations} iterations, "
+              f"{stats.steady_state_cycles} cycles ({share:.0%} of run)")
+    print()
     if result.sanitizer is not None:
         print(result.sanitizer.summary() + "\n")
     granularity = Granularity(args.granularity)
@@ -670,7 +677,14 @@ def cmd_submit(args) -> int:
     cached = " (simulation cache hit)" if report.get("cached") else ""
     print(f"{stats.get('committed', '?')} instructions, "
           f"{stats.get('cycles', '?')} cycles, "
-          f"IPC {report.get('ipc') or 0.0:.2f}{cached}\n")
+          f"IPC {report.get('ipc') or 0.0:.2f}{cached}")
+    if stats.get("steady_state_cycles") and stats.get("cycles"):
+        share = stats["steady_state_cycles"] / stats["cycles"]
+        print(f"steady-state memoization: "
+              f"{stats.get('steady_state_iterations', 0)} iterations, "
+              f"{stats['steady_state_cycles']} cycles "
+              f"({share:.0%} of run)")
+    print()
     if "sanitizer" in report:
         print(report["sanitizer"] + "\n")
     errors = {args.target: report["errors"]["instruction"]}
@@ -892,7 +906,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Lint assembly files, directories of .s files, "
                     "suite benchmark names, or imagick-orig/imagick-opt. "
                     "With --observers, targets are Python sources checked "
-                    "against the observer/profiler contracts (C001-C004). "
+                    "against the observer/profiler contracts (C001-C005). "
                     "Exit status: 0 clean, 1 diagnostics found, 2 "
                     "usage/internal error.")
     lint.add_argument("targets", nargs="+")

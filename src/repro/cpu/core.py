@@ -71,13 +71,22 @@ class CoreStats:
     __slots__ = ("cycles", "committed", "fetched",
                  "branch_mispredicts", "csr_flushes", "exceptions",
                  "ordering_flushes", "commit_hist",
-                 "sampling_interrupts", "fast_forwarded")
+                 "sampling_interrupts", "fast_forwarded",
+                 "steady_state_iterations", "steady_state_cycles")
 
     #: Fields persisted by the simulation cache (everything needed to
     #: reconstruct the stats of a cached run).
     FIELDS = ("cycles", "committed", "fetched", "branch_mispredicts",
               "csr_flushes", "exceptions", "ordering_flushes",
-              "commit_hist", "sampling_interrupts", "fast_forwarded")
+              "commit_hist", "sampling_interrupts", "fast_forwarded",
+              "steady_state_iterations", "steady_state_cycles")
+
+    #: Fields describing how the run was *driven* rather than what the
+    #: program did: they legitimately differ between ``sim="step"`` and
+    #: ``sim="fast"`` runs of the same program, so bit-identity checks
+    #: (the bench checksum gate, the fast-vs-step tests) exclude them.
+    DRIVER_FIELDS = ("fast_forwarded", "steady_state_iterations",
+                     "steady_state_cycles")
 
     def __init__(self):
         self.cycles = 0
@@ -89,9 +98,15 @@ class CoreStats:
         self.ordering_flushes = 0
         self.commit_hist = [0] * 16
         self.sampling_interrupts = 0
-        #: Cycles emitted by the event-driven stall fast-forward (0 in
-        #: ``sim="step"`` runs; the trace is identical either way).
+        #: Cycles emitted by the event-driven stall fast-forward or the
+        #: steady-state loop memoizer (0 in ``sim="step"`` runs; the
+        #: trace is identical either way).
         self.fast_forwarded = 0
+        #: Whole loop iterations skipped by the steady-state memoizer.
+        self.steady_state_iterations = 0
+        #: Cycles covered by memoized loop iterations (a subset of
+        #: ``fast_forwarded``).
+        self.steady_state_cycles = 0
 
     def to_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.FIELDS}
@@ -175,6 +190,9 @@ class Core:
         self._exception_ordering = False
         #: The record emitted for the most recent cycle.
         self._last_record: Optional[CycleRecord] = None
+        #: Steady-state memoizer hook: when set, called with each uop
+        #: at the moment it commits (after its architectural effects).
+        self._commit_probe: Optional[Callable[[MicroOp], None]] = None
 
         # Micro-op recycling: fetch stamps pre-decoded per-PC templates
         # from a free list instead of constructing fresh MicroOps.
@@ -198,11 +216,15 @@ class Core:
         whenever :meth:`_quiet_until` proves that no pipeline stage can
         make progress before a known future event, the intervening
         identical stall records are emitted as one batch
-        (``on_stall_run``) instead of ticking cycle by cycle.  The
-        emitted trace and all observer results are bit-identical to
-        ``sim="step"``.  *paranoid* cross-checks every fast-forwarded
-        region against single-stepping (raising :class:`SimFastError`
-        on divergence) at single-step speed.
+        (``on_stall_run``) instead of ticking cycle by cycle.  It also
+        enables the steady-state loop memoizer
+        (:class:`~repro.cpu.memo.LoopMemoizer`): once the full pipeline
+        state is proven periodic, whole loop iterations are skipped and
+        emitted as one batch (``on_cycle_run``).  The emitted trace and
+        all observer results are bit-identical to ``sim="step"``.
+        *paranoid* cross-checks every fast-forwarded region and every
+        memoized skip against single-stepping (raising
+        :class:`SimFastError` on divergence) at single-step speed.
 
         Raises :class:`MaxCyclesExceeded` (a distinct
         :class:`SimulationError`) when the budget runs out.
@@ -211,6 +233,10 @@ class Core:
             raise ValueError(f"unknown sim mode {sim!r} "
                              f"(expected one of {SIM_MODES})")
         fast = sim == FAST_SIM
+        memo = None
+        if fast:
+            from .memo import LoopMemoizer  # local: avoids import cycle
+            memo = LoopMemoizer(self, max_cycles, paranoid)
         while not self.halted:
             if self.cycle >= max_cycles:
                 raise MaxCyclesExceeded(max_cycles)
@@ -230,8 +256,11 @@ class Core:
                         else:
                             self._fast_forward(n)
                         self.stats.fast_forwarded += n
+                        memo.note_break()
                         continue
             self.step()
+            if memo is not None and not self.halted:
+                memo.after_step()
         self.stats.cycles = self.cycle
         for observer in self.observers:
             observer.on_finish(self.cycle)
@@ -531,6 +560,8 @@ class Core:
         uop.draining = inst.is_store
         self._retired.append((self._next_seq, uop))
 
+        if self._commit_probe is not None:
+            self._commit_probe(uop)
         self._committed_now.append(
             CommittedInst(inst.addr, uop.bank, uop.mispredicted,
                           inst.flushes_on_commit))

@@ -132,6 +132,34 @@ class TraceObserver:
         for offset in range(1, count):
             self.on_cycle(shifted_record(record, offset))
 
+    def on_cycle_run(self, records: Sequence[CycleRecord],
+                     repeats: int) -> None:
+        """Consume *repeats* periods identical to the *records* template.
+
+        The steady-state loop memoizer (:mod:`repro.cpu.memo`) emits
+        whole memoized loop iterations as one call instead of
+        ``repeats * len(records)`` ``on_cycle`` calls.  *records* is one
+        full period of consecutive cycles (dense: record ``j`` is at
+        ``records[0].cycle + j``); repeat ``r`` covers cycles
+        ``records[0].cycle + r*P .. records[0].cycle + (r+1)*P - 1``
+        (``P = len(records)``), each cycle differing from its template
+        record only in the cycle number.  The first repeat is the
+        template itself, unshifted.  The default rematerializes every
+        cycle and falls back to :meth:`on_cycle`, so observers that
+        never opt in behave identically; observers with a batch fast
+        path (trace writers, the block assembler, the Oracle, the
+        sanitizer) override this.
+        """
+        period = len(records)
+        for repeat in range(repeats):
+            offset = repeat * period
+            if offset:
+                for record in records:
+                    self.on_cycle(shifted_record(record, offset))
+            else:
+                for record in records:
+                    self.on_cycle(record)
+
     def on_block(self, block) -> None:
         """Consume a :class:`~repro.fastpath.CycleBlock` of records.
 

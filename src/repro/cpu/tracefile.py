@@ -187,6 +187,31 @@ class ChunkCarry:
                           self.last_committed, self.drain_pending)
 
 
+def _carry_snapshots(carry: "ChunkCarry", records: Sequence[CycleRecord]
+                     ) -> Optional[Tuple[List["ChunkCarry"],
+                                         List["ChunkCarry"]]]:
+    """Per-record carry snapshots for a periodic batch of *records*.
+
+    Returns ``(transient, steady)`` -- the carry after record ``i`` of
+    the first repeat (starting from *carry*) and of every later repeat
+    -- or ``None`` when the carry does not reach a fixpoint after one
+    period (possible only for a template with no commits, which the
+    memoizer never emits); callers then fall back to per-cycle updates.
+    """
+    c = carry.copy()
+    transient = []
+    for record in records:
+        c.update(record)
+        transient.append(c.copy())
+    steady = []
+    for record in records:
+        c.update(record)
+        steady.append(c.copy())
+    if steady[-1] != transient[-1]:
+        return None
+    return transient, steady
+
+
 @dataclass
 class ChunkInfo:
     """Location and metadata of one v2/v3 chunk."""
@@ -322,6 +347,16 @@ class TraceWriter(TraceObserver):
         # *count* copies of the same bytes.
         self.stream.write(_encode_record(record) * count)
         self.records_written += count
+
+    def on_cycle_run(self, records: Sequence[CycleRecord],
+                     repeats: int) -> None:
+        # Cycle numbers are implicit, so every repeat of the period
+        # serializes to the same bytes: encode once, multiply.
+        if not records or repeats <= 0:
+            return
+        period = b"".join(_encode_record(r) for r in records)
+        self.stream.write(period * repeats)
+        self.records_written += len(records) * repeats
 
     def on_finish(self, final_cycle: int) -> None:
         self.stream.flush()
@@ -487,6 +522,48 @@ class TraceWriterV2(_AtomicWriterMixin, TraceObserver):
             if len(buffer) >= self.chunk_cycles:
                 self._flush_chunk()
                 buffer = self._buffer
+
+    def on_cycle_run(self, records: Sequence[CycleRecord],
+                     repeats: int) -> None:
+        # Encode each template record once and append byte strings by
+        # whole periods; the chunk carry is restored from precomputed
+        # snapshots at every chunk boundary the run crosses.
+        n = len(records)
+        if not n or repeats <= 0:
+            return
+        snapshots = _carry_snapshots(self._carry, records)
+        if snapshots is None:
+            super().on_cycle_run(records, repeats)
+            return
+        transient, steady = snapshots
+        encoded = [_encode_record(r) for r in records]
+        total = n * repeats
+        buffer = self._buffer
+        t = 0
+        while t < total:
+            space = self.chunk_cycles - len(buffer)
+            take = min(space, total - t)
+            i = t % n
+            done = 0
+            if i:
+                done = min(take, n - i)
+                buffer.extend(encoded[i:i + done])
+            whole, tail = divmod(take - done, n)
+            if whole:
+                buffer.extend(encoded * whole)
+            if tail:
+                buffer.extend(encoded[:tail])
+            t += take
+            if len(buffer) >= self.chunk_cycles:
+                last = t - 1
+                snap = transient[last] if last < n else steady[last % n]
+                self._carry = snap.copy()
+                self._flush_chunk()
+                buffer = self._buffer
+        last = total - 1
+        self._carry = (transient[last] if last < n
+                       else steady[last % n]).copy()
+        self.records_written += total
 
     def on_finish(self, final_cycle: int) -> None:
         if self._buffer:
@@ -706,6 +783,49 @@ class TraceWriterV3(_AtomicWriterMixin, TraceObserver):
             count -= take
             if self._buffered >= self.chunk_cycles:
                 self._flush_chunk()
+
+    def on_cycle_run(self, records: Sequence[CycleRecord],
+                     repeats: int) -> None:
+        # The serialized columns carry no cycle numbers (the chunk
+        # header provides the start cycle), so template records are
+        # appended as-is, whole periods at a time via C-level list
+        # multiplication; the chunk carry is restored from precomputed
+        # snapshots at every chunk boundary the run crosses.
+        n = len(records)
+        if not n or repeats <= 0:
+            return
+        snapshots = _carry_snapshots(self._carry, records)
+        if snapshots is None:
+            super().on_cycle_run(records, repeats)
+            return
+        transient, steady = snapshots
+        template = [(r, 1) for r in records]
+        total = n * repeats
+        t = 0
+        while t < total:
+            space = self.chunk_cycles - self._buffered
+            take = min(space, total - t)
+            i = t % n
+            done = 0
+            if i:
+                done = min(take, n - i)
+                self._runs.extend(template[i:i + done])
+            whole, tail = divmod(take - done, n)
+            if whole:
+                self._runs.extend(template * whole)
+            if tail:
+                self._runs.extend(template[:tail])
+            self._buffered += take
+            t += take
+            if self._buffered >= self.chunk_cycles:
+                last = t - 1
+                snap = transient[last] if last < n else steady[last % n]
+                self._carry = snap.copy()
+                self._flush_chunk()
+        last = total - 1
+        self._carry = (transient[last] if last < n
+                       else steady[last % n]).copy()
+        self.records_written += total
 
     def on_finish(self, final_cycle: int) -> None:
         if self._runs:

@@ -23,7 +23,7 @@ it buffers the core's per-cycle records and dispatches whole blocks.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple, Union
+from typing import Iterable, List, Sequence, Tuple, Union
 
 from ..cpu.trace import CycleRecord, TraceObserver, shifted_record
 from ..cpu.tracefile import (TraceReaderV2, TraceReaderV3, open_reader,
@@ -152,6 +152,44 @@ class BlockAssembler(TraceObserver):
                 self._flush()
             if count:
                 record = shifted_record(record, take)
+
+    def on_cycle_run(self, records: Sequence[CycleRecord],
+                     repeats: int) -> None:
+        # Whole memoized periods at a time, split at block boundaries.
+        # Only the first record of a block needs its true cycle number
+        # (:meth:`CycleBlock.from_runs` derives every other cycle from
+        # the block's start), so template records are appended raw via
+        # C-level list multiplication and a re-based copy is made only
+        # when a new block starts mid-run.
+        n = len(records)
+        if not n or repeats <= 0:
+            return
+        template = [(r, 1) for r in records]
+        total = n * repeats
+        t = 0
+        while t < total:
+            if self._buffered == 0 and t:
+                i = t % n
+                self._buffer.append(
+                    (shifted_record(records[i], t - i), 1))
+                self._buffered += 1
+                t += 1
+            space = self.block_cycles - self._buffered
+            take = min(space, total - t)
+            i = t % n
+            done = 0
+            if i and take:
+                done = min(take, n - i)
+                self._buffer.extend(template[i:i + done])
+            whole, tail = divmod(take - done, n)
+            if whole:
+                self._buffer.extend(template * whole)
+            if tail:
+                self._buffer.extend(template[:tail])
+            self._buffered += take
+            t += take
+            if self._buffered >= self.block_cycles:
+                self._flush()
 
     def on_finish(self, final_cycle: int) -> None:
         if self._buffer:

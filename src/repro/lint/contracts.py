@@ -19,7 +19,13 @@ keep three promises:
 * **no shared mutable state** (C004): methods executed inside shards
   must not mutate module-level or class-level state; each shard runs in
   its own process or interleaving, so such writes are lost, doubled or
-  raced depending on the executor.
+  raced depending on the executor;
+* **batched-period pairing** (C005): an observer overriding
+  ``on_cycle_run`` (the steady-state memoizer's whole-period batch leg)
+  has opted into batched ``sim=fast`` input, so it must also override
+  ``on_stall_run`` -- the two legs arrive interleaved from the same
+  fast path, and handling only one leaves the other on the O(n)
+  per-cycle fallback (or raising, for observers without ``on_cycle``).
 
 This is a *static* companion to the dynamic hypothesis equivalence
 tests: ``repro lint --observers <paths>`` parses Python sources (no
@@ -40,7 +46,7 @@ from .diagnostics import Diagnostic, Severity
 #: Method names that mark a class as observer-like even without a
 #: recognisable base class.
 HOOK_NAMES = frozenset({
-    "on_cycle", "on_stall_run", "on_block", "on_finish",
+    "on_cycle", "on_stall_run", "on_cycle_run", "on_block", "on_finish",
     "begin_shard", "shard_settled", "resolve_only", "snapshot",
     "restore_snapshots", "absorb",
     "_block_attribute", "_block_scan_resolve", "_block_resolve_outcome",
@@ -371,6 +377,29 @@ def _check_stall_pairing(info: ClassInfo,
                  "run-length-compressed stall cycles")]
 
 
+def _check_cycle_run_pairing(info: ClassInfo,
+                             resolver: _Resolver) -> List[Diagnostic]:
+    if info.name == _DEFAULT_BASE:
+        return []  # its on_cycle_run *is* the per-cycle default
+    if "on_cycle_run" not in info.methods \
+            or _is_abstract(info.methods["on_cycle_run"]):
+        return []
+    if resolver.overrides(info, "on_stall_run"):
+        return []
+    has_cycle = resolver.find_method(info, "on_cycle")[1]
+    severity = Severity.WARNING if has_cycle else Severity.ERROR
+    consequence = ("stall runs fall back to the per-cycle loop"
+                   if has_cycle else
+                   "stall runs will raise NotImplementedError")
+    return [_diag(
+        "C005", severity,
+        f"{info.name} overrides on_cycle_run but not on_stall_run; "
+        f"both batch legs arrive from sim=fast, and {consequence}",
+        info=info, node=info.methods["on_cycle_run"],
+        fix_hint="add an on_stall_run override batching "
+                 "run-length-compressed stall cycles")]
+
+
 def _check_shard_protocol(info: ClassInfo,
                           resolver: _Resolver) -> List[Diagnostic]:
     local = [m for m in (_SHARD_LEGS + _MERGE_LEGS)
@@ -555,6 +584,7 @@ CONTRACT_RULES: Dict[str, str] = {
     "C002": "on_block overrides must pair with on_stall_run",
     "C003": "shard protocol legs must be implemented together",
     "C004": "shard-executed methods must not mutate shared state",
+    "C005": "on_cycle_run overrides must pair with on_stall_run",
 }
 
 
@@ -577,7 +607,7 @@ def iter_python_files(targets: Iterable[str]) -> List[str]:
 def check_observer_contracts(targets: Iterable[str],
                              label: Optional[str] = None
                              ) -> ContractReport:
-    """Run C001-C004 over the Python sources in *targets*.
+    """Run C001-C005 over the Python sources in *targets*.
 
     *targets* are ``.py`` files or directories (recursed).  Sources are
     parsed, never imported.  Classes that are not observer-like are
@@ -610,6 +640,8 @@ def check_observer_contracts(targets: Iterable[str],
                 _check_block_native(info, resolver))
             report.diagnostics.extend(
                 _check_stall_pairing(info, resolver))
+            report.diagnostics.extend(
+                _check_cycle_run_pairing(info, resolver))
             report.diagnostics.extend(
                 _check_shard_protocol(info, resolver))
         report.diagnostics.extend(_check_shared_state(

@@ -37,7 +37,8 @@ from typing import List, Optional
 from ..analysis.report import format_diag
 from ..isa.opcodes import Kind
 from ..isa.program import Program
-from ..cpu.trace import CommittedInst, CycleRecord, TraceObserver
+from ..cpu.trace import (CommittedInst, CycleRecord, TraceObserver,
+                         shifted_record)
 from .diagnostics import Diagnostic, Severity
 
 
@@ -131,6 +132,33 @@ class TraceSanitizer(TraceObserver):
         if count > 1:
             self.cycles_checked += count - 1
             self._last_cycle = record.cycle + count - 1
+
+    def on_cycle_run(self, records, repeats: int) -> None:
+        """Check *repeats* memoized loop periods in O(period).
+
+        The first two repeats run per-cycle.  After one full period
+        every piece of checker state is content-determined -- the
+        drain flag depends only on the period's last record and cycle
+        density holds inside the batch by construction -- so repeat 2
+        onward would reproduce repeat 1's checks verbatim; they are
+        counted without re-running (matching ``on_stall_run``'s
+        first-cycle-covers-all semantics for uniform runs).
+        """
+        n = len(records)
+        if not n or repeats <= 0:
+            return
+        checked = min(repeats, 2)
+        for repeat in range(checked):
+            offset = repeat * n
+            for record in records:
+                self.on_cycle(record if not offset
+                              else shifted_record(record, offset))
+        rest = repeats - checked
+        if rest > 0:
+            self.cycles_checked += rest * n
+            self.commits_checked += \
+                rest * sum(len(r.committed) for r in records)
+            self._last_cycle = records[0].cycle + repeats * n - 1
 
     def on_finish(self, final_cycle: int) -> None:
         self._finished = True

@@ -18,7 +18,8 @@ Protocol (one request per connection, ``Connection: close``; see
     GET  /jobs/<id>/wait        block until terminal; ?timeout=SECONDS
     GET  /jobs/<id>/events      NDJSON event stream; ?after=SEQ
     POST /jobs/<id>/cancel      cancel a queued/running job
-    GET  /stats                 queue depth, dedup, cache, worker health
+    GET  /stats                 queue depth, dedup, cache, steady-state
+                                memoization totals, worker health
     GET  /healthz               liveness probe
     POST /shutdown              drain (?drain=0 cancels) and stop
 
@@ -128,6 +129,8 @@ class ProfileServer:
         self.cancelled_jobs = 0
         self.simulations = 0
         self.cache_hits = 0
+        self.steady_state_iterations = 0
+        self.steady_state_cycles = 0
         self.streams_open = 0
         self.streams_served = 0
         self.connections = 0
@@ -246,6 +249,11 @@ class ProfileServer:
             self.cache_hits += 1
         else:
             self.simulations += 1
+        core_stats = job.report.get("stats") or {}
+        self.steady_state_iterations += int(
+            core_stats.get("steady_state_iterations", 0))
+        self.steady_state_cycles += int(
+            core_stats.get("steady_state_cycles", 0))
         self._finish(job, DONE)
 
     def _on_start(self, job: Job, attempt: int) -> None:
@@ -370,6 +378,9 @@ class ProfileServer:
                       "distinct_keys": len(self._by_key)},
             "cache": cache_info,
             "pool": self.pool.health(),
+            "steady_state": {
+                "iterations": self.steady_state_iterations,
+                "cycles": self.steady_state_cycles},
             "streams": {"open": self.streams_open,
                         "served": self.streams_served},
             "connections": {"open": self.connections},

@@ -1,4 +1,4 @@
-"""The observer-contract conformance checker (C001-C004).
+"""The observer-contract conformance checker (C001-C005).
 
 The shipped tree must be clean (the checker gates CI), and each
 contract must catch a seeded violation written to a temp file.
@@ -33,7 +33,8 @@ def test_shipped_profilers_are_clean():
 
 
 def test_contract_rule_table_is_complete():
-    assert set(CONTRACT_RULES) == {"C001", "C002", "C003", "C004"}
+    assert set(CONTRACT_RULES) == {"C001", "C002", "C003", "C004",
+                                   "C005"}
 
 
 # -- C001 block-native pairing ------------------------------------------------
@@ -130,6 +131,61 @@ class Paired(TraceObserver):
         self.cycles = count
 """)
     assert report.diagnostics == []
+
+
+# -- C005 batched-period pairing ----------------------------------------------
+
+
+def test_c005_on_cycle_run_without_on_stall_run(tmp_path):
+    report = _check(tmp_path, """
+class HalfBatched(TraceObserver):
+    def on_cycle(self, record):
+        self.last = record.cycle
+
+    def on_cycle_run(self, records, repeats):
+        self.last = records[-1].cycle + (repeats - 1) * len(records)
+""")
+    assert _rules(report) == ["C005"]
+    assert report.ok  # warning: stalls still work via the on_cycle loop
+    assert "on_stall_run" in report.diagnostics[0].message
+
+
+def test_c005_no_per_cycle_fallback_is_an_error(tmp_path):
+    report = _check(tmp_path, """
+class BatchOnly(TraceObserver):
+    def on_cycle_run(self, records, repeats):
+        self.count = repeats * len(records)
+""")
+    assert _rules(report) == ["C005"]
+    assert not report.ok  # error: stall runs would raise
+
+
+def test_c005_local_pairing_satisfies(tmp_path):
+    report = _check(tmp_path, """
+class FullyBatched(TraceObserver):
+    def on_cycle_run(self, records, repeats):
+        self.count = repeats * len(records)
+
+    def on_stall_run(self, record, count):
+        self.count = count
+""")
+    assert report.diagnostics == []
+
+
+def test_c005_inherited_on_stall_run_satisfies(tmp_path):
+    report = _check(tmp_path, """
+class Base(TraceObserver):
+    def on_stall_run(self, record, count):
+        self.count = count
+
+class Derived(Base):
+    def on_cycle(self, record):
+        self.last = record.cycle
+
+    def on_cycle_run(self, records, repeats):
+        self.count = repeats * len(records)
+""")
+    assert "C005" not in _rules(report)
 
 
 # -- C003 shard protocol completeness -----------------------------------------
