@@ -1,0 +1,18 @@
+# A doubleword load from an address that is provably == 3 (mod 8).
+# The congruence domain tracks address residues through arithmetic, so
+# the misalignment is caught even though the address is never a single
+# constant the const-propagation rules could see.
+#
+#   $ python -m repro lint examples/asm/misaligned_load.s
+#
+# reports warning[L015] at the `ld`.
+
+.entry main
+.func main
+main:
+    addi x5, x0, 0x400
+    addi x5, x5, 3          # base slips off the word boundary
+    ld   x6, 0(x5)          # L015: address == 3 (mod 8), needs 0
+    halt
+
+.data 0x400 7

@@ -1,0 +1,19 @@
+# A store whose every possible address misses the data image.  The
+# guest memory model silently accepts writes to unmapped addresses, so
+# the bug produces no fault -- the value simply vanishes.  The abstract
+# interpreter proves the address range [0x4008, 0x4008] is disjoint
+# from the declared data word at 0x400 and flags the store.
+#
+#   $ python -m repro lint examples/asm/oob_store.s
+#
+# reports warning[L014] at the `sd`.
+
+.entry main
+.func main
+main:
+    addi x5, x0, 0x4000     # off by a factor of 16: meant 0x400
+    addi x6, x0, 7
+    sd   x6, 8(x5)          # L014: provably outside the data image
+    halt
+
+.data 0x400 1

@@ -1,0 +1,20 @@
+# A countdown by two from an odd start: the counter walks 7, 5, 3, 1,
+# -1, ... and never equals zero, so the `bne` exit is dead and the loop
+# spins forever.  Constant propagation cannot prove this (the counter
+# is not a constant), but the congruence domain knows the counter is
+# always odd while the exit needs it even.
+#
+#   $ python -m repro lint examples/asm/range_dead_branch.s
+#
+# reports warning[L018] at the `bne` (the exit path is provably dead)
+# and warning[L013] at the loop (with its only exit discounted, no
+# time-driven exit remains).
+
+.entry main
+.func main
+main:
+    addi x5, x0, 7          # odd start
+spin:
+    addi x5, x5, -2         # parity never changes
+    bne  x5, x0, spin       # L018: always taken; L013: loop never exits
+    halt

@@ -1,0 +1,24 @@
+# A callee that overwrites callee-saved x28 and returns without
+# restoring it.  The engine tracks saved-register slots through the
+# stack frame, so a proper spill/reload would silence the rule -- this
+# function simply never saves the register.
+#
+#   $ python -m repro lint examples/asm/stack_clobber.s
+#
+# reports warning[L017] at the `jalr`.
+
+.entry main
+.func main
+main:
+    addi x28, x0, 41        # the caller's state x28 should survive
+    jal  x1, helper
+    sd   x28, 0x400(x0)     # ... but stores 10, not 41
+    halt
+
+.func helper
+helper:
+    addi x28, x0, 5         # clobbers callee-saved x28
+    addi x28, x28, 5
+    jalr x0, x1, 0          # L017: returns without restoring it
+
+.data 0x400 0

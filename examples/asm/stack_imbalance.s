@@ -1,0 +1,22 @@
+# A function that pushes a stack frame and returns without popping it.
+# x31 is the stack pointer by convention; the engine tracks it as an
+# offset from the function-entry value and proves the return leaves it
+# 16 bytes low on every path.
+#
+#   $ python -m repro lint examples/asm/stack_imbalance.s
+#
+# reports warning[L016] at the `jalr`.
+
+.entry main
+.func main
+main:
+    addi x31, x0, 0x1000    # set up the stack
+    jal  x1, leaky
+    halt
+
+.func leaky
+leaky:
+    addi x31, x31, -16      # push a frame...
+    sd   x5, 0(x31)
+    ld   x5, 0(x31)
+    jalr x0, x1, 0          # L016: ...and never pop it

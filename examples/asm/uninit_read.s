@@ -5,7 +5,9 @@
 #
 #   $ python -m repro lint examples/asm/uninit_read.s
 #
-# reports warning[L009] at the `add`.
+# reports warning[L009] at the `add`, and warning[L018] at the `beq`:
+# the reset state makes x3 provably zero, so the branch is always
+# taken -- the abstract interpreter proves the fall-through dead.
 
 .entry main
 .func main

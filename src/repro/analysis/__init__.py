@@ -1,5 +1,7 @@
 """Profile analysis: symbolization, error metric, cycle stacks, reports."""
 
+from .annotate import (DEFAULT_FACTOR, DEFAULT_MARGIN, AnnotatedLine,
+                       AnnotateReport, annotate_profile)
 from .cyclestacks import (CLASS_COMPUTE, CLASS_FLUSH, CLASS_STALL,
                           STACK_ORDER, CycleStack, cycle_stack,
                           per_symbol_stacks)
@@ -13,6 +15,8 @@ from .report import (render_cycle_stack, render_error_table,
 from .symbols import (Granularity, OFF_TEXT, Symbolizer, UNKNOWN_FUNCTION)
 
 __all__ = [
+    "DEFAULT_FACTOR", "DEFAULT_MARGIN", "AnnotatedLine",
+    "AnnotateReport", "annotate_profile",
     "CLASS_COMPUTE", "CLASS_FLUSH", "CLASS_STALL", "STACK_ORDER",
     "CycleStack", "cycle_stack", "per_symbol_stacks",
     "ProfileDiff", "SymbolDelta", "diff_profiles", "render_diff",

@@ -44,7 +44,13 @@ Commands
     to a running server and wait for (or stream) the report;
     ``--stats`` prints the server's queue/cache/worker health.
 ``lint TARGET...``
-    Statically lint assembly files, directories or benchmark names.
+    Statically lint assembly files, directories or benchmark names;
+    ``--list-rules`` prints the rule registry and ``--cost`` the
+    abstract interpreter's static cycle-cost expectation.
+``annotate TARGET``
+    Profile TARGET once and diff the measured per-instruction
+    attribution against the static cost model, flagging instructions
+    whose dynamic share the static expectation cannot explain.
 ``optimize TARGET``
     Apply dataflow-proven rewrites suggested by the linter (flush-pair
     removal, invariant-flush hoisting, dead-store deletion,
@@ -389,10 +395,12 @@ def _cmd_bench_hotpath(args) -> int:
 
 
 def _lint_targets(targets: List[str]):
-    """Resolve lint targets to (label, Program) pairs.
+    """Resolve lint targets to (label, Program, premapped) triples.
 
     A target is an assembly file, a directory (linted recursively), a
     suite benchmark name, or ``imagick-orig`` / ``imagick-opt``.
+    Workload targets carry their premapped data regions so the
+    abstract interpreter's bounds rules see the real memory map.
     Unresolvable targets are returned separately.
     """
     programs = []
@@ -408,20 +416,53 @@ def _lint_targets(targets: List[str]):
             for path in files:
                 with open(path) as handle:
                     programs.append(
-                        (path, assemble(handle.read(), name=path)))
+                        (path, assemble(handle.read(), name=path), ()))
         elif os.path.isfile(target):
             with open(target) as handle:
                 programs.append(
-                    (target, assemble(handle.read(), name=target)))
+                    (target, assemble(handle.read(), name=target), ()))
         elif target in ("imagick-orig", "imagick-opt"):
             workload = build_imagick(optimized=target.endswith("-opt"))
-            programs.append((target, workload.program))
+            programs.append((target, workload.program,
+                             tuple(workload.premapped)))
         elif target in BENCHMARKS:
             workload, = build_suite([target], scale=0.1)
-            programs.append((target, workload.program))
+            programs.append((target, workload.program,
+                             tuple(workload.premapped)))
         else:
             bad.append(target)
     return programs, bad
+
+
+def _list_rules(fmt: str, dataflow: bool) -> int:
+    """``repro lint --list-rules``: print the rule registry."""
+    from .lint import Severity
+    from .lint.rules import DATAFLOW_RULE_IDS, RULES_BY_ID
+    from .lint.absint.rules import ABSINT_RULE_IDS
+    rows = []
+    for rule_id in sorted(RULES_BY_ID):
+        rule = RULES_BY_ID[rule_id]
+        if rule_id in ABSINT_RULE_IDS:
+            tier = "absint"
+        elif rule_id in DATAFLOW_RULE_IDS:
+            tier = "dataflow"
+        else:
+            tier = "structural"
+        if not dataflow and tier != "structural":
+            continue
+        rows.append({"id": rule_id, "name": rule.name,
+                     "severity": rule.severity.value
+                     if isinstance(rule.severity, Severity)
+                     else str(rule.severity),
+                     "tier": tier,
+                     "description": rule.description})
+    if fmt == "json":
+        print(json.dumps(rows, indent=2))
+        return 0
+    for row in rows:
+        print(f"{row['id']}  {row['severity']:<7}  {row['tier']:<10}  "
+              f"{row['name']}: {row['description']}")
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -431,6 +472,12 @@ def cmd_lint(args) -> int:
     with it any diagnostic does.
     """
     fmt = "json" if args.json else (args.format or "text")
+    if args.list_rules:
+        return _list_rules(fmt, args.dataflow)
+    if not args.targets:
+        print("lint: a TARGET (or --list-rules) is required",
+              file=sys.stderr)
+        return 2
     if args.observers:
         return _lint_observers(args, fmt)
     from .isa.assembler import AssemblerError
@@ -443,11 +490,14 @@ def cmd_lint(args) -> int:
     if bad:
         print("cannot lint: " + ", ".join(bad), file=sys.stderr)
         return 2
+    if args.cost:
+        return _lint_cost(programs, fmt, args.top)
     linter = Linter(dataflow=args.dataflow)
     reports = [linter.run(program,
                           path=label if os.path.isfile(label) else None,
-                          honor_ignores=not args.no_ignores)
-               for label, program in programs]
+                          honor_ignores=not args.no_ignores,
+                          regions=premapped)
+               for label, program, premapped in programs]
     if fmt == "json":
         print(json.dumps([report.to_dict() for report in reports],
                          indent=2))
@@ -477,6 +527,70 @@ def _lint_observers(args, fmt: str) -> int:
     if report.errors:
         return 1
     if args.strict and report.diagnostics:
+        return 1
+    return 0
+
+
+def _lint_cost(programs, fmt: str, top: Optional[int]) -> int:
+    """``repro lint --cost``: print the static cost expectation."""
+    from .lint import static_cost_report
+    from .lint.cfg import build_cfg
+    from .lint.context import LintContext
+    payload = []
+    for label, program, premapped in programs:
+        ctx = LintContext(program, build_cfg(program),
+                          regions=tuple(premapped))
+        report = static_cost_report(ctx)
+        if fmt == "json":
+            payload.append({"target": label, **report.to_dict()})
+        else:
+            print(f"{label}:")
+            print(report.render(top=top))
+            print()
+    if fmt == "json":
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_annotate(args) -> int:
+    """Exit codes: 0 report produced (1 with --strict if any
+    instruction diverges), 2 usage/internal error."""
+    from .analysis import annotate_profile
+    from .isa.assembler import AssemblerError
+    try:
+        resolved = _optimize_target(args.target, args.scale)
+    except (AssemblerError, OSError) as exc:
+        print(f"cannot annotate: {exc}", file=sys.stderr)
+        return 2
+    if resolved is None:
+        print(f"cannot annotate: unknown target {args.target!r}",
+              file=sys.stderr)
+        return 2
+    label, program, premapped = resolved
+
+    mode = "random" if args.random else "periodic"
+    profilers = default_profilers(args.period, mode=mode,
+                                  policies=[args.policy])
+    result = run_experiment(program, profilers,
+                            premapped_data=list(premapped) or None,
+                            sim=args.sim, paranoid=args.paranoid,
+                            cache=_cache_arg(args))
+    profile = result.profile(args.policy, Granularity.INSTRUCTION)
+    report = annotate_profile(program, profile, target=label,
+                              policy=args.policy,
+                              regions=tuple(premapped),
+                              factor=args.factor, margin=args.margin)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render(top=args.top))
+        if args.output:
+            print(f"wrote report to {args.output}")
+    if args.strict and report.divergent:
         return 1
     return 0
 
@@ -909,11 +1023,21 @@ def build_parser() -> argparse.ArgumentParser:
                     "against the observer/profiler contracts (C001-C005). "
                     "Exit status: 0 clean, 1 diagnostics found, 2 "
                     "usage/internal error.")
-    lint.add_argument("targets", nargs="+")
+    lint.add_argument("targets", nargs="*")
     lint.add_argument("--format", choices=("text", "json"), default=None,
                       help="output format (default text)")
     lint.add_argument("--json", action="store_true",
                       help="shorthand for --format json")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule registry (id, severity, "
+                           "tier, summary) and exit")
+    lint.add_argument("--cost", action="store_true",
+                      help="print the abstract interpreter's static "
+                           "cycle-cost expectation instead of "
+                           "diagnostics")
+    lint.add_argument("--top", type=int, default=None,
+                      help="with --cost, show only the N most "
+                           "expensive instructions")
     lint.add_argument("--dataflow", dest="dataflow",
                       action="store_true", default=True,
                       help="enable the dataflow rule family "
@@ -930,6 +1054,48 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report diagnostics even at addresses "
                            "carrying a '# lint: ignore[...]' pragma")
     lint.set_defaults(func=cmd_lint)
+
+    annotate = sub.add_parser(
+        "annotate", help="diff static cost model against a TIP profile",
+        description="Simulate TARGET once with a sampling profiler, "
+                    "then render the abstract interpreter's static "
+                    "cycle expectation next to the measured "
+                    "attribution per instruction.  Instructions whose "
+                    "dynamic share exceeds "
+                    "max(FACTOR * static, static + MARGIN) are "
+                    "flagged divergent: they suffer a dynamic "
+                    "pathology (flushes, cache misses, serialization) "
+                    "the static model cannot see. Exit status: 0 "
+                    "report produced, 1 divergence found under "
+                    "--strict, 2 usage/internal error.")
+    annotate.add_argument("target",
+                          help="an .s file, a suite benchmark name, "
+                               "or imagick-orig/imagick-opt")
+    annotate.add_argument("--policy", default="TIP",
+                          choices=["Software", "Dispatch", "LCI", "NCI",
+                                   "NCI+ILP", "TIP-ILP", "TIP"])
+    annotate.add_argument("--factor", type=float, default=2.0,
+                          help="multiplicative divergence threshold "
+                               "(default 2.0)")
+    annotate.add_argument("--margin", type=float, default=0.02,
+                          help="additive divergence threshold in "
+                               "absolute share (default 0.02)")
+    annotate.add_argument("--top", type=int, default=20,
+                          help="show the N hottest instructions "
+                               "(default 20)")
+    annotate.add_argument("--scale", type=float, default=0.1,
+                          help="suite benchmark scale factor "
+                               "(default 0.1)")
+    annotate.add_argument("--json", action="store_true",
+                          help="print the JSON report to stdout")
+    annotate.add_argument("-o", "--output", default=None,
+                          help="write the JSON report to this file")
+    annotate.add_argument("--strict", action="store_true",
+                          help="exit 1 when any instruction diverges")
+    _add_common(annotate)
+    _add_sim(annotate)
+    _add_cache(annotate)
+    annotate.set_defaults(func=cmd_annotate)
 
     optimize = sub.add_parser(
         "optimize", help="apply dataflow-proven rewrites",

@@ -18,10 +18,23 @@ from .opcodes import Op
 
 _MASK64 = (1 << 64) - 1
 
+#: Signed 64-bit result range.  The abstract interpreter
+#: (:mod:`repro.lint.absint`) shares these with :func:`to_signed` so
+#: its overflow handling can never drift from the concrete wrapping
+#: below.
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
 
 def _to_signed(value: int) -> int:
     value &= _MASK64
     return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def to_signed(value: int) -> int:
+    """Wrap an integer to the signed 64-bit range (public alias used by
+    the abstract interpreter's transfer functions)."""
+    return _to_signed(value)
 
 
 @dataclass

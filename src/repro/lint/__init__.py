@@ -11,6 +11,11 @@ Three analysis layers over the same invariants the profilers depend on:
   its semantic, dataflow-proven generalisation (L012), unreachable
   code, uninitialized reads, dead stores, loops with no time-driven
   exit, ...;
+* :mod:`repro.lint.absint` -- an interprocedural abstract
+  interpretation (intervals x congruence x stack tracking with
+  per-function summaries) behind the memory-safety / stack-discipline
+  rules L014..L019 and the static cycle-cost model of
+  ``repro lint --cost`` / ``repro annotate``;
 * :mod:`repro.lint.contracts` -- an AST-based conformance checker for
   the observer/profiler contracts the fast paths rely on (block-native
   hook pairing, batched-stall pairing, shard protocol completeness,
@@ -24,6 +29,9 @@ Entry points: :func:`lint_program`, :func:`check_observer_contracts`,
 :class:`TraceSanitizer`, and the CLI (``repro lint``, ``--sanitize``).
 """
 
+from .absint import (AbsintResult, AbsState, AbsVal,
+                     AbstractInterpreter, CostReport, FunctionSummary,
+                     analyze_program, static_cost_report)
 from .cfg import BasicBlock, ControlFlowGraph, Loop, build_cfg
 from .contracts import (CONTRACT_RULES, ContractReport,
                         check_observer_contracts)
@@ -35,12 +43,15 @@ from .dataflow import (ALL_REGS, BACKWARD, BlockState,
                        preheader_site, solve)
 from .diagnostics import Diagnostic, FixHint, Severity
 from .linter import Linter, LintReport, lint_program
-from .rules import (DATAFLOW_RULE_IDS, DEFAULT_RULES, LintContext,
-                    LintRule, RULES_BY_ID, SELF_CHECK_RULE_IDS,
-                    STRUCTURAL_RULE_IDS)
+from .rules import (ABSINT_RULE_IDS, DATAFLOW_RULE_IDS, DEFAULT_RULES,
+                    LintContext, LintRule, RULES_BY_ID,
+                    SELF_CHECK_RULE_IDS, STRUCTURAL_RULE_IDS)
 from .sanitizer import TraceInvariantError, TraceSanitizer, sanitize_trace
 
 __all__ = [
+    "AbsintResult", "AbsState", "AbsVal", "AbstractInterpreter",
+    "CostReport", "FunctionSummary", "analyze_program",
+    "static_cost_report",
     "BasicBlock", "ControlFlowGraph", "Loop", "build_cfg",
     "ALL_REGS", "BACKWARD", "BlockState", "ConditionalConstants",
     "DataflowAnalysis", "DefiniteAssignment", "DominatorTree",
@@ -50,6 +61,7 @@ __all__ = [
     "CONTRACT_RULES", "ContractReport", "check_observer_contracts",
     "Diagnostic", "FixHint", "Severity",
     "Linter", "LintReport", "lint_program",
+    "ABSINT_RULE_IDS",
     "DATAFLOW_RULE_IDS", "DEFAULT_RULES", "LintContext", "LintRule",
     "RULES_BY_ID", "SELF_CHECK_RULE_IDS", "STRUCTURAL_RULE_IDS",
     "TraceInvariantError", "TraceSanitizer", "sanitize_trace",

@@ -1,0 +1,50 @@
+"""Interprocedural abstract interpretation over guest programs.
+
+Layout:
+
+* :mod:`~repro.lint.absint.domain` -- the product domain (intervals x
+  congruence mod 8 x stack-offset and entry-value tags) and abstract
+  transfer functions derived from :mod:`repro.isa.semantics`;
+* :mod:`~repro.lint.absint.engine` -- the widening/narrowing fixpoint
+  interpreter with per-function summaries;
+* :mod:`~repro.lint.absint.rules` -- lint rules L014..L019;
+* :mod:`~repro.lint.absint.cost` -- the static per-instruction cycle
+  cost model behind ``repro lint --cost`` and ``repro annotate``;
+* :mod:`~repro.lint.absint.abi` -- the stack/callee-saved conventions
+  the stack rules check against.
+"""
+
+from .abi import CALLEE_SAVED, STACK_POINTER
+from .cost import (CostLine, CostReport, DEFAULT_TRIPS, FLUSH_COST,
+                   static_cost_report)
+from .domain import (ALL_RESIDUES, AbsVal, TOP, abstract_evaluate,
+                     refine_branch)
+from .engine import (AbsintResult, AbsState, AbstractInterpreter,
+                     FunctionSummary, MemAccess, analyze_program,
+                     join_states, widen_states)
+from .rules import ABSINT_RULES, ABSINT_RULE_IDS
+
+__all__ = [
+    "ABSINT_RULES",
+    "ABSINT_RULE_IDS",
+    "ALL_RESIDUES",
+    "AbsState",
+    "AbsVal",
+    "AbsintResult",
+    "AbstractInterpreter",
+    "CALLEE_SAVED",
+    "CostLine",
+    "CostReport",
+    "DEFAULT_TRIPS",
+    "FLUSH_COST",
+    "FunctionSummary",
+    "MemAccess",
+    "STACK_POINTER",
+    "TOP",
+    "abstract_evaluate",
+    "analyze_program",
+    "join_states",
+    "refine_branch",
+    "static_cost_report",
+    "widen_states",
+]

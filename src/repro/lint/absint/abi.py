@@ -1,0 +1,25 @@
+"""The guest calling convention the stack rules check against.
+
+The ISA itself has no fixed ABI -- ``main`` calls kernels through
+``x1`` and kernels call helpers through ``x2`` by repo convention
+(see ``workloads/generator.py``).  The stack discipline rules add two
+more conventions, chosen so the whole existing corpus (generated
+kernels clobber only ``x5..x27``/``f1..f15``) is trivially conformant:
+
+* ``x31`` is the stack pointer: a function must return with it equal
+  to its entry value (L016);
+* ``x28..x30`` are callee-saved: a function that writes one must
+  restore the entry value before returning (L017).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+#: The stack-pointer register (``x31``).
+STACK_POINTER: int = 31
+
+#: Callee-saved integer registers a function must preserve
+#: (``x28..x30``; ``x31`` is covered separately by the stack-balance
+#: rule).
+CALLEE_SAVED: FrozenSet[int] = frozenset({28, 29, 30})

@@ -1,0 +1,130 @@
+"""Shared lint infrastructure: the per-program context and rule base.
+
+Lives in its own module (rather than ``rules.py``) so the abstract-
+interpretation rule family in :mod:`repro.lint.absint` can subclass
+:class:`LintRule` without a circular import -- ``rules.py`` imports the
+absint rules to register them, and the absint rules import this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterator, Optional,
+                    Set, Tuple, Union)
+
+from ..isa.program import Program
+from .cfg import ControlFlowGraph
+from .dataflow import (ConditionalConstants, DefiniteAssignment, Liveness,
+                       LoopNest, ReachingDefinitions, loop_invariant_addrs)
+from .diagnostics import Diagnostic, FixHint, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .absint.engine import AbsintResult
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult, computed once per program.
+
+    The dataflow analyses are per-function and lazy: the first rule to
+    ask for one pays for the fixpoint, later rules share the cache.
+    """
+
+    program: Program
+    cfg: ControlFlowGraph
+    #: Extra mapped memory the program may legally touch beyond its
+    #: data image: half-open ``(start, end)`` byte ranges.  Harness
+    #: premapped regions land here so L014 does not flag them.
+    regions: Tuple[Tuple[int, int], ...] = ()
+    _reaching: Dict[str, ReachingDefinitions] = field(
+        default_factory=dict, init=False, repr=False)
+    _liveness: Dict[str, Liveness] = field(
+        default_factory=dict, init=False, repr=False)
+    _assignment: Dict[str, DefiniteAssignment] = field(
+        default_factory=dict, init=False, repr=False)
+    _constants: Dict[str, ConditionalConstants] = field(
+        default_factory=dict, init=False, repr=False)
+    _loop_nests: Dict[str, LoopNest] = field(
+        default_factory=dict, init=False, repr=False)
+    _invariants: Dict[Tuple[str, FrozenSet[int], bool], Set[int]] = field(
+        default_factory=dict, init=False, repr=False)
+    _absint: Optional["AbsintResult"] = field(
+        default=None, init=False, repr=False)
+
+    def function_name(self, addr: int) -> Optional[str]:
+        func = self.program.function_of(addr)
+        return func.name if func is not None else None
+
+    def reaching(self, function: str) -> ReachingDefinitions:
+        if function not in self._reaching:
+            self._reaching[function] = ReachingDefinitions(
+                self.cfg, function)
+        return self._reaching[function]
+
+    def liveness(self, function: str) -> Liveness:
+        if function not in self._liveness:
+            self._liveness[function] = Liveness(self.cfg, function)
+        return self._liveness[function]
+
+    def assignment(self, function: str) -> DefiniteAssignment:
+        if function not in self._assignment:
+            self._assignment[function] = DefiniteAssignment(
+                self.cfg, function)
+        return self._assignment[function]
+
+    def constants(self, function: str) -> ConditionalConstants:
+        if function not in self._constants:
+            self._constants[function] = ConditionalConstants(
+                self.cfg, function)
+        return self._constants[function]
+
+    def loop_nest(self, function: str) -> LoopNest:
+        if function not in self._loop_nests:
+            self._loop_nests[function] = LoopNest(self.cfg, function)
+        return self._loop_nests[function]
+
+    def invariants(self, function: str, region: FrozenSet[int],
+                   entry_is_variant: bool) -> Set[int]:
+        key = (function, region, entry_is_variant)
+        if key not in self._invariants:
+            self._invariants[key] = loop_invariant_addrs(
+                self.cfg, self.reaching(function), region,
+                entry_is_variant=entry_is_variant)
+        return self._invariants[key]
+
+    def absint(self) -> "AbsintResult":
+        """The whole-program abstract interpretation (lazy, shared by
+        every absint rule and the static cost model)."""
+        if self._absint is None:
+            from .absint.engine import AbstractInterpreter
+            self._absint = AbstractInterpreter(
+                self.program, self.cfg, self.regions).run()
+        return self._absint
+
+
+class LintRule:
+    """Base class: subclasses set the metadata and implement check()."""
+
+    rule_id: str = "L000"
+    name: str = "rule"
+    severity: Severity = Severity.WARNING
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, message: str, *, addr: Optional[int] = None,
+             function: Optional[str] = None,
+             fix_hint: Optional[Union[str, FixHint]] = None,
+             severity: Optional[Severity] = None) -> Diagnostic:
+        fix: Optional[FixHint] = None
+        if isinstance(fix_hint, FixHint):
+            fix = fix_hint
+        elif fix_hint is not None:
+            # Plain-text hints become advice-only structured hints, so
+            # the JSON payload always carries the same schema.
+            fix = FixHint(action="manual", text=fix_hint)
+        return Diagnostic(self.rule_id, severity or self.severity, message,
+                          addr=addr, function=function,
+                          fix_hint=fix.text if fix is not None else None,
+                          fix=fix)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..isa.program import Program
 from .cfg import build_cfg
@@ -80,18 +80,34 @@ class Linter:
         return cls([RULES_BY_ID[rid] for rid in SELF_CHECK_RULE_IDS])
 
     def run(self, program: Program, path: Optional[str] = None,
-            honor_ignores: bool = True) -> LintReport:
+            honor_ignores: bool = True,
+            regions: Iterable[Tuple[int, int]] = ()) -> LintReport:
         """Lint *program*; *path* attaches source file/line locations
         (lines come from ``program.lines``, the assembler's map).
+        *regions* are extra mapped ``(start, end)`` byte ranges (e.g.
+        harness-premapped buffers) the memory-safety rules must treat
+        as legal.
 
         With *honor_ignores* (the default), diagnostics at addresses
         carrying a ``# lint: ignore[...]`` pragma are dropped and
         counted in :attr:`LintReport.suppressed`.
         """
-        ctx = LintContext(program, build_cfg(program))
+        ctx = LintContext(program, build_cfg(program),
+                          regions=tuple(regions))
         report = LintReport(program.name)
         for rule in self.rules:
             report.diagnostics.extend(rule.check(ctx))
+        # A diagnostic reached through several interprocedural contexts
+        # (or several overlapping loops) is one finding, not many.
+        seen = set()
+        unique = []
+        for d in report.diagnostics:
+            key = (d.rule, d.addr, d.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(d)
+        report.diagnostics = unique
         if honor_ignores and program.ignores:
             kept = []
             for d in report.diagnostics:
@@ -110,8 +126,13 @@ class Linter:
                     line=(program.lines.get(d.addr)
                           if d.addr is not None else None))
                 for d in report.diagnostics]
+        # Stable order: errors before warnings before infos, and within
+        # each severity band findings read in program (address) order in
+        # both the text and ``--format json`` outputs, independent of
+        # which rule or calling context produced them first.
         report.diagnostics.sort(
-            key=lambda d: (-d.severity.rank, d.addr or 0, d.rule))
+            key=lambda d: (-d.severity.rank, d.addr is None, d.addr or 0,
+                           d.rule, d.message))
         return report
 
 
@@ -119,7 +140,9 @@ def lint_program(program: Program,
                  rules: Optional[Sequence[LintRule]] = None,
                  dataflow: bool = True,
                  path: Optional[str] = None,
-                 honor_ignores: bool = True) -> LintReport:
+                 honor_ignores: bool = True,
+                 regions: Iterable[Tuple[int, int]] = ()) -> LintReport:
     """Lint *program* with the default (or a custom) rule set."""
     return Linter(rules, dataflow=dataflow).run(
-        program, path=path, honor_ignores=honor_ignores)
+        program, path=path, honor_ignores=honor_ignores,
+        regions=regions)

@@ -17,111 +17,26 @@ docs table in ``docs/lint.md``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import (Dict, FrozenSet, Iterator, List, Optional, Set,
-                    Tuple, Union)
+from typing import Dict, Iterator, List, Set, Tuple
 
 from ..isa.instruction import Register
 from ..isa.opcodes import Kind
-from ..isa.program import FunctionSymbol, Program
-from .cfg import ControlFlowGraph
-from .dataflow import (ConditionalConstants, DefiniteAssignment, Liveness,
-                       LoopNest, ReachingDefinitions, loop_invariant_addrs,
-                       used_registers)
+from ..isa.program import FunctionSymbol
+from .absint.rules import ABSINT_RULES, ABSINT_RULE_IDS
+from .context import LintContext, LintRule
+from .dataflow import used_registers
 from .diagnostics import Diagnostic, FixHint, Severity
 
-
-@dataclass
-class LintContext:
-    """Everything a rule may consult, computed once per program.
-
-    The dataflow analyses are per-function and lazy: the first rule to
-    ask for one pays for the fixpoint, later rules share the cache.
-    """
-
-    program: Program
-    cfg: ControlFlowGraph
-    _reaching: Dict[str, ReachingDefinitions] = field(
-        default_factory=dict, init=False, repr=False)
-    _liveness: Dict[str, Liveness] = field(
-        default_factory=dict, init=False, repr=False)
-    _assignment: Dict[str, DefiniteAssignment] = field(
-        default_factory=dict, init=False, repr=False)
-    _constants: Dict[str, ConditionalConstants] = field(
-        default_factory=dict, init=False, repr=False)
-    _loop_nests: Dict[str, LoopNest] = field(
-        default_factory=dict, init=False, repr=False)
-    _invariants: Dict[Tuple[str, FrozenSet[int], bool], Set[int]] = field(
-        default_factory=dict, init=False, repr=False)
-
-    def function_name(self, addr: int) -> Optional[str]:
-        func = self.program.function_of(addr)
-        return func.name if func is not None else None
-
-    def reaching(self, function: str) -> ReachingDefinitions:
-        if function not in self._reaching:
-            self._reaching[function] = ReachingDefinitions(
-                self.cfg, function)
-        return self._reaching[function]
-
-    def liveness(self, function: str) -> Liveness:
-        if function not in self._liveness:
-            self._liveness[function] = Liveness(self.cfg, function)
-        return self._liveness[function]
-
-    def assignment(self, function: str) -> DefiniteAssignment:
-        if function not in self._assignment:
-            self._assignment[function] = DefiniteAssignment(
-                self.cfg, function)
-        return self._assignment[function]
-
-    def constants(self, function: str) -> ConditionalConstants:
-        if function not in self._constants:
-            self._constants[function] = ConditionalConstants(
-                self.cfg, function)
-        return self._constants[function]
-
-    def loop_nest(self, function: str) -> LoopNest:
-        if function not in self._loop_nests:
-            self._loop_nests[function] = LoopNest(self.cfg, function)
-        return self._loop_nests[function]
-
-    def invariants(self, function: str, region: FrozenSet[int],
-                   entry_is_variant: bool) -> Set[int]:
-        key = (function, region, entry_is_variant)
-        if key not in self._invariants:
-            self._invariants[key] = loop_invariant_addrs(
-                self.cfg, self.reaching(function), region,
-                entry_is_variant=entry_is_variant)
-        return self._invariants[key]
-
-
-class LintRule:
-    """Base class: subclasses set the metadata and implement check()."""
-
-    rule_id: str = "L000"
-    name: str = "rule"
-    severity: Severity = Severity.WARNING
-    description: str = ""
-
-    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
-        raise NotImplementedError
-
-    def diag(self, message: str, *, addr: Optional[int] = None,
-             function: Optional[str] = None,
-             fix_hint: Optional[Union[str, FixHint]] = None,
-             severity: Optional[Severity] = None) -> Diagnostic:
-        fix: Optional[FixHint] = None
-        if isinstance(fix_hint, FixHint):
-            fix = fix_hint
-        elif fix_hint is not None:
-            # Plain-text hints become advice-only structured hints, so
-            # the JSON payload always carries the same schema.
-            fix = FixHint(action="manual", text=fix_hint)
-        return Diagnostic(self.rule_id, severity or self.severity, message,
-                          addr=addr, function=function,
-                          fix_hint=fix.text if fix is not None else None,
-                          fix=fix)
+__all__ = [
+    "ABSINT_RULE_IDS",
+    "DATAFLOW_RULE_IDS",
+    "DEFAULT_RULES",
+    "LintContext",
+    "LintRule",
+    "RULES_BY_ID",
+    "SELF_CHECK_RULE_IDS",
+    "STRUCTURAL_RULE_IDS",
+]
 
 
 class FlushInLoopRule(LintRule):
@@ -607,6 +522,7 @@ class NoTimeDrivenExitRule(LintRule):
     def _spins_forever(ctx: LintContext, function: str,
                        body: Set[int]) -> bool:
         reaching = ctx.reaching(function)
+        absint = ctx.absint()
         body_addrs = {inst.addr for index in body
                       for inst in ctx.cfg.blocks[index].instructions}
         for index in body:
@@ -624,6 +540,11 @@ class NoTimeDrivenExitRule(LintRule):
                 continue
             if not term.is_branch:
                 return False  # unconditional transfer out of the loop
+            if NoTimeDrivenExitRule._absint_stays_in(ctx, absint,
+                                                     index, body):
+                # Value ranges prove the exit edge is never taken:
+                # this "exit" cannot end the spin.
+                continue
             env = None
             for inst, value in reaching.at(block):
                 if inst is term:
@@ -633,6 +554,18 @@ class NoTimeDrivenExitRule(LintRule):
                 if sites & frozenset(body_addrs):
                     return False  # the condition changes in the loop
         return True
+
+    @staticmethod
+    def _absint_stays_in(ctx: LintContext, absint, index: int,
+                         body: Set[int]) -> bool:
+        """Does the abstract interpretation prove the branch ending
+        block *index* always stays inside *body*?"""
+        if index not in absint.verdicts:
+            return False
+        term = ctx.cfg.blocks[index].terminator
+        target = term.imm if absint.verdicts[index] else term.next_addr
+        succ = ctx.cfg.block_index_of(target)
+        return succ is not None and succ in body
 
 
 #: The default rule line-up, in report order.
@@ -650,7 +583,7 @@ DEFAULT_RULES: Tuple[LintRule, ...] = (
     ConstantUnreachableRule(),
     InvariantFlushRule(),
     NoTimeDrivenExitRule(),
-)
+) + ABSINT_RULES
 
 #: Rule id -> rule instance.
 RULES_BY_ID: Dict[str, LintRule] = {r.rule_id: r for r in DEFAULT_RULES}
@@ -659,10 +592,15 @@ RULES_BY_ID: Dict[str, LintRule] = {r.rule_id: r for r in DEFAULT_RULES}
 STRUCTURAL_RULE_IDS: Tuple[str, ...] = ("L003", "L004", "L006")
 
 #: The dataflow-powered rule family (toggled by ``--no-dataflow``).
+#: The abstract-interpretation rules (L014..) ride the same switch --
+#: they are strictly deeper analyses of the same kind.
 DATAFLOW_RULE_IDS: Tuple[str, ...] = ("L009", "L010", "L011", "L012",
-                                      "L013")
+                                      "L013") + ABSINT_RULE_IDS
 
 #: Rules the workload generators self-check against: the structural
-#: errors plus const-proven unreachable code (any diagnostic from this
-#: set fails the build, regardless of severity).
-SELF_CHECK_RULE_IDS: Tuple[str, ...] = STRUCTURAL_RULE_IDS + ("L011",)
+#: errors plus const-proven unreachable code plus the memory-safety /
+#: stack-discipline proofs (any diagnostic from this set fails the
+#: build, regardless of severity).  L018/L019 stay advisory: a proven
+#: one-way branch or an over-long loop is suspicious, not wrong.
+SELF_CHECK_RULE_IDS: Tuple[str, ...] = STRUCTURAL_RULE_IDS + (
+    "L011", "L014", "L015", "L016", "L017")

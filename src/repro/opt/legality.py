@@ -19,8 +19,9 @@ The planners:
   genuinely used: moved to a synthesized preheader;
 * :func:`plan_dead_store` (L010) -- a pure computation whose result is
   dead on every path: deleted;
-* :func:`plan_prune` (L011) -- constant-verdict branches rewritten to
-  unconditional form and the blocks they strand removed.
+* :func:`plan_prune` (L011/L018) -- branches with a proven outcome
+  (constant propagation or the abstract interpreter's value ranges)
+  rewritten to unconditional form and the blocks they strand removed.
 """
 
 from __future__ import annotations
@@ -455,18 +456,21 @@ def plan_prune(ctx: LintContext, function: str) -> Union[PrunePlan, str]:
     Branches with a constant verdict become ``jal x0`` (always taken)
     or ``nop`` (always falls through); blocks the verdicts strand are
     deleted when nothing outside the stranded set still targets them.
+    Branch verdicts come from two independent provers: constant
+    propagation (L011) and the interprocedural abstract interpreter's
+    value ranges (L018), which also prove branches whose operands are
+    bounded but never a single constant.
     """
     constants = ctx.constants(function)
     cfg = ctx.cfg
     branch_rewrites: Dict[int, Instruction] = {}
     verdict_facts: List[str] = []
-    for index, verdict in sorted(constants.verdicts.items()):
-        if index not in constants.executable \
-                or index not in cfg.reachable:
-            continue
+    absint_used = False
+
+    def rewrite_branch(index: int, verdict: bool, prover: str) -> None:
         term = cfg.blocks[index].terminator
-        if not term.is_branch:
-            continue
+        if not term.is_branch or term.addr in branch_rewrites:
+            return
         if verdict:
             branch_rewrites[term.addr] = Instruction(
                 Op.JAL, rd=0, sources=(), imm=term.imm)
@@ -475,11 +479,34 @@ def plan_prune(ctx: LintContext, function: str) -> Union[PrunePlan, str]:
             branch_rewrites[term.addr] = Instruction(Op.NOP)
             way = "always falls through -> nop"
         verdict_facts.append(
-            f"constant verdict: {term.op.value}@{term.addr:#x} {way}")
+            f"{prover}: {term.op.value}@{term.addr:#x} {way}")
+
+    for index, verdict in sorted(constants.verdicts.items()):
+        if index not in constants.executable \
+                or index not in cfg.reachable:
+            continue
+        rewrite_branch(index, verdict, "constant verdict")
+
+    absint = ctx.absint()
+    infeasible: Set[int] = set()
+    if absint.analyzed(function):
+        infeasible = absint.infeasible_blocks(function)
+        in_function = cfg.functions.get(function, ())
+        before = len(branch_rewrites)
+        for index, verdict in sorted(absint.verdicts.items()):
+            if index not in in_function or index not in cfg.reachable \
+                    or index in infeasible \
+                    or index not in constants.executable:
+                continue
+            rewrite_branch(index, verdict, "range verdict")
+        absint_used = len(branch_rewrites) > before
 
     dead = {index
             for index in constants.structural - constants.executable
             if index in cfg.reachable}
+    if infeasible - dead:
+        absint_used = True
+        dead |= infeasible
     dead_addrs = {inst.addr for index in dead
                   for inst in cfg.blocks[index].instructions}
 
@@ -509,15 +536,17 @@ def plan_prune(ctx: LintContext, function: str) -> Union[PrunePlan, str]:
                              for inst in cfg.blocks[index].instructions)
 
     if not branch_rewrites and not delete_addrs:
-        return "no constant verdicts and no deletable stranded blocks"
+        return ("no constant or range verdicts and no deletable "
+                "stranded blocks")
     facts = verdict_facts + [
-        f"const-unreachable: block "
+        f"unreachable: block "
         f"{cfg.blocks[index].start:#x}..{cfg.blocks[index].end:#x} "
         f"is never executable and nothing outside the dead set "
         f"targets it"
         for index in sorted(deletable)]
     addrs = tuple(sorted(branch_rewrites)) + tuple(sorted(delete_addrs))
-    certificate = Certificate("prune-const-unreachable", "L011",
+    rule = "L018" if absint_used else "L011"
+    certificate = Certificate("prune-const-unreachable", rule,
                               function, addrs, tuple(facts))
     return PrunePlan(function, branch_rewrites, delete_addrs,
                      certificate)

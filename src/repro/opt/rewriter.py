@@ -11,9 +11,10 @@ through the :class:`~repro.isa.rewrite.ProgramEditor`:
 2. **hoist** (L012 ``hoist`` hints that are not removable pairs): the
    first provable candidate moves to a synthesized preheader (the
    editor supports one insertion per rebuild);
-3. **prune** (L011 ``prune`` hints): constant-verdict branches become
-   unconditional and stranded blocks are deleted, one batch per
-   function;
+3. **prune** (L011/L018 ``prune`` hints): branches with a proven
+   outcome -- constant propagation or the abstract interpreter's value
+   ranges -- become unconditional and stranded blocks are deleted, one
+   batch per function;
 4. **dead stores** (L010 ``delete`` hints): every provable dead store
    is deleted in one batch (deleting a dead definition cannot make an
    older definition visible: a read downstream would have kept it
@@ -40,7 +41,8 @@ from .legality import (Certificate, DeadStorePlan, FlushPairPlan,
                        plan_flush_pair, plan_hoist, plan_prune)
 
 #: Rules whose fix hints the optimizer can prove and apply.
-OPTIMIZABLE_RULES: Tuple[str, ...] = ("L001", "L012", "L010", "L011")
+OPTIMIZABLE_RULES: Tuple[str, ...] = ("L001", "L012", "L010", "L011",
+                                      "L018")
 
 
 @dataclass(frozen=True)
@@ -219,7 +221,7 @@ class Optimizer:
         for function in prune_functions:
             plan = plan_prune(ctx, function)
             if isinstance(plan, str):
-                skipped.append(SkippedFinding("L011", None,
+                skipped.append(SkippedFinding("L011/L018", None,
                                               f"{function}: {plan}"))
                 continue
             editor = ProgramEditor(ctx.program)

@@ -52,27 +52,32 @@ class Workload:
     description: str = ""
 
     def lint(self) -> "LintReport":
-        """Run the full linter over this workload's program."""
+        """Run the full linter over this workload's program (with the
+        premapped regions declared legal for the memory-safety rules)."""
         from ..lint.linter import lint_program
-        return lint_program(self.program)
+        return lint_program(self.program, regions=tuple(self.premapped))
 
     def __repr__(self) -> str:
         return f"<workload {self.name}: {len(self.program)} insts>"
 
 
-def self_check_program(program: Program) -> None:
+def self_check_program(program: Program,
+                       regions: Tuple[Tuple[int, int], ...] = ()) -> None:
     """Raise :class:`WorkloadLintError` if *program* fails the build
     gate: the structural lint rules (unreachable blocks, fall-through
     off text, overlapping function symbols) plus const-proven
-    unreachable code (L011) -- any diagnostic from that set fails the
-    build, regardless of severity.
+    unreachable code (L011) and the abstract-interpretation proofs
+    (out-of-bounds/misaligned access, stack discipline, L014..L017) --
+    any diagnostic from that set fails the build, regardless of
+    severity.  *regions* are premapped byte ranges the memory-safety
+    rules must treat as legally mapped.
 
     Generators call this on every program they emit, so a kernel-emitter
     bug shows up as a lint report at build time instead of a bogus
     profile after minutes of simulation.
     """
     from ..lint.linter import Linter
-    report = Linter.self_check().run(program)
+    report = Linter.self_check().run(program, regions=regions)
     if report.diagnostics:
         raise WorkloadLintError(
             f"generated program {program.name!r} failed the lint "
@@ -394,10 +399,12 @@ def build_workload(name: str, kernels: List[Kernel], rounds: int = 1,
               "    halt"]
     source = "\n".join(lines) + "\n" + "\n".join(k.text for k in kernels)
     program = assemble(source, base=base, name=name)
-    if self_check:
-        self_check_program(program)
     premapped: List[Tuple[int, int]] = []
     for kernel in kernels:
         program.data.update(kernel.data)
         premapped.extend(kernel.premapped)
+    if self_check:
+        # After the data image and premapped regions are in place, so
+        # the memory-safety rules (L014..) see the real footprint.
+        self_check_program(program, regions=tuple(premapped))
     return Workload(name, program, premapped, description)

@@ -124,13 +124,18 @@ def _build_program(optimized: bool, pixels: int, morph_iters: int,
     name = "imagick-opt" if optimized else "imagick-orig"
     program = assemble(_source(pixels, morph_iters, optimized),
                        base=TEXT_BASE, name=name)
-    self_check_program(program)
     rng = random.Random(seed)
     for i in range(PIXEL_WORDS):
         program.data[PIXEL_BASE + 8 * i] = rng.uniform(0.0, 100.0)
     for i in range(0, MORPH_WORDS, 2):
         program.data[MORPH_BASE + 8 * i] = rng.uniform(0.5, 1.5)
         program.data[MORPH_BASE + 8 * (i + 1)] = rng.uniform(0.5, 1.5)
+    for i in range(PIXEL_WORDS):
+        # The output plane is part of the program's legal footprint:
+        # declaring it keeps the memory-safety rules (L014) aware that
+        # the MSI kernel's stores are in bounds.
+        program.data.setdefault(OUT_BASE + 8 * i, 0.0)
+    self_check_program(program)
     return program
 
 
